@@ -1,0 +1,58 @@
+//! Deterministic dataset generators for the benchmark suite.
+//!
+//! All generators are seeded so every run of the evaluation uses identical
+//! data; values are rounded to `f32` to match what the accelerator's
+//! single-precision datapaths consume.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform values in `[lo, hi)`, rounded to f32.
+pub fn uniform(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi) as f32 as f64).collect()
+}
+
+/// Uniform integer values in `[lo, hi)`, as f64.
+pub fn ints(seed: u64, n: usize, lo: i64, hi: i64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi) as f64).collect()
+}
+
+/// Bernoulli 0/1 values with probability `p` of 1.
+pub fn booleans(seed: u64, n: usize, p: f64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| f64::from(rng.gen_bool(p))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(uniform(1, 10, 0.0, 1.0), uniform(1, 10, 0.0, 1.0));
+        assert_ne!(uniform(1, 10, 0.0, 1.0), uniform(2, 10, 0.0, 1.0));
+    }
+
+    #[test]
+    fn ranges_respected() {
+        for v in uniform(3, 100, -2.0, 2.0) {
+            assert!((-2.0..2.0).contains(&v));
+        }
+        for v in ints(4, 100, 5, 10) {
+            assert!((5.0..10.0).contains(&v));
+            assert_eq!(v.fract(), 0.0);
+        }
+        for v in booleans(5, 100, 0.5) {
+            assert!(v == 0.0 || v == 1.0);
+        }
+    }
+
+    #[test]
+    fn values_are_f32_representable() {
+        for v in uniform(6, 50, 0.0, 1000.0) {
+            assert_eq!(v, v as f32 as f64);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Pattern programs as first-class benchmarks.
+//!
+//! [`PatternBenchmark`] adapts a fused [`PatternProgram`] to the
+//! [`Benchmark`] trait: the design metaprogram is the pattern lowering of
+//! §III-A, the reference outputs come from the pattern interpreter, the
+//! work profile is derived from the pattern operations, and an HLS loop
+//! nest is generated for the exploration-speed comparison. This closes
+//! the loop of the paper's Figure 1: write patterns, get an explorable
+//! accelerator.
+
+use dhdl_core::{Design, ParamSpace, ParamValues, Result};
+use dhdl_hls::{HlsKernel, HlsLoop, HlsOp, HlsOpKind};
+use dhdl_patterns::{default_params, fuse, lower, param_space, PatternOp, PatternProgram};
+
+use crate::{Arrays, Benchmark, WorkProfile};
+
+/// A benchmark defined by a parallel-pattern program.
+#[derive(Debug, Clone)]
+pub struct PatternBenchmark {
+    name: &'static str,
+    description: &'static str,
+    program: PatternProgram,
+    inputs: Arrays,
+}
+
+impl PatternBenchmark {
+    /// Wrap a pattern program and its input data as a benchmark. The
+    /// program is fused before lowering (the paper's Step 1 high-level
+    /// optimizations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is missing an input array of the program.
+    pub fn new(
+        name: &'static str,
+        description: &'static str,
+        program: PatternProgram,
+        inputs: Arrays,
+    ) -> Self {
+        let fused = fuse(&program);
+        // Validate inputs eagerly (interpret panics on missing arrays).
+        let _ = fused.interpret(&inputs);
+        PatternBenchmark {
+            name,
+            description,
+            program: fused,
+            inputs,
+        }
+    }
+
+    /// The fused program.
+    pub fn program(&self) -> &PatternProgram {
+        &self.program
+    }
+}
+
+impl Benchmark for PatternBenchmark {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn description(&self) -> &'static str {
+        self.description
+    }
+
+    fn paper_dataset(&self) -> &'static str {
+        "(user-defined pattern program)"
+    }
+
+    fn dataset_desc(&self) -> String {
+        let total: u64 = self
+            .program
+            .ops()
+            .iter()
+            .map(|op| self.program.spec(op.ins()[0]).len)
+            .sum();
+        format!("{} patterns over {} elements", self.program.ops().len(), total)
+    }
+
+    fn param_space(&self) -> ParamSpace {
+        param_space(&self.program)
+    }
+
+    fn default_params(&self) -> ParamValues {
+        default_params(&self.program)
+    }
+
+    fn build(&self, p: &ParamValues) -> Result<Design> {
+        lower(&self.program, self.name, p)
+    }
+
+    fn inputs(&self) -> Arrays {
+        self.inputs.clone()
+    }
+
+    fn reference(&self) -> Arrays {
+        self.program.interpret(&self.inputs)
+    }
+
+    fn work(&self) -> WorkProfile {
+        // Derived from the pattern IR: each op applies its kernel
+        // expression once per element; every input element is read and
+        // every materialized output element written.
+        let mut w = WorkProfile::default();
+        for op in self.program.ops() {
+            let len = self.program.spec(op.ins()[0]).len as f64;
+            let (kernel_ops, extra) = match op {
+                PatternOp::Map { f, .. } | PatternOp::Reduce { f, .. } => (f.size(), 1),
+                PatternOp::FilterReduce { cond, f, .. } => (cond.size() + f.size(), 2),
+                PatternOp::GroupByReduce { key, value, .. } => (key.size() + value.size(), 2),
+            };
+            w.flops += len * (kernel_ops + extra) as f64;
+            w.bytes_read += len * 4.0 * op.ins().len() as f64;
+            let out_len = self.program.spec(op.out()).len as f64;
+            w.bytes_written += out_len * 4.0;
+        }
+        w
+    }
+
+    fn hls_kernel(&self) -> Option<HlsKernel> {
+        let mut kernel = HlsKernel::new(self.name);
+        for (i, op) in self.program.ops().iter().enumerate() {
+            let len = self.program.spec(op.ins()[0]).len;
+            let loads = op.ins().len();
+            let (n_ops, stores, accumulate) = match op {
+                PatternOp::Map { f, .. } => (f.size(), 1, false),
+                PatternOp::Reduce { f, .. } => (f.size(), 0, true),
+                PatternOp::FilterReduce { cond, f, .. } => (cond.size() + f.size() + 1, 0, true),
+                PatternOp::GroupByReduce { key, value, .. } => {
+                    (key.size() + value.size() + 1, 1, true)
+                }
+            };
+            let mut body = Vec::new();
+            for _ in 0..loads {
+                body.push(HlsOp::new(HlsOpKind::Load, &[]));
+            }
+            for k in 0..n_ops.max(1) {
+                let dep = if k == 0 { 0 } else { loads + k - 1 };
+                body.push(HlsOp::new(HlsOpKind::Mul, &[dep]));
+            }
+            let last = body.len() - 1;
+            if accumulate {
+                body.push(HlsOp::new(HlsOpKind::Add, &[last]).accumulating());
+            }
+            for _ in 0..stores {
+                let v = body.len() - 1;
+                body.push(HlsOp::new(HlsOpKind::Store, &[v]));
+            }
+            kernel = kernel.with_loop(
+                HlsLoop::new(&format!("L{i}"), len)
+                    .with_body(body)
+                    .pipelined(true),
+            );
+        }
+        Some(kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+    use dhdl_core::{DType, ReduceOp};
+    use dhdl_patterns::Expr;
+
+    fn sq_dist_bench() -> PatternBenchmark {
+        let n = 768u64;
+        let mut p = PatternProgram::new();
+        let a = p.input("a", n, DType::F32);
+        let b = p.input("b", n, DType::F32);
+        let d = p.map("d", &[a, b], Expr::sub(Expr::input(0), Expr::input(1)));
+        let sq = p.map("sq", &[d], Expr::mul(Expr::input(0), Expr::input(0)));
+        p.reduce("dist", &[sq], Expr::input(0), ReduceOp::Add);
+        let mut inputs = Arrays::new();
+        inputs.insert("a".into(), data::uniform(11, n as usize, -1.0, 1.0));
+        inputs.insert("b".into(), data::uniform(12, n as usize, -1.0, 1.0));
+        PatternBenchmark::new("sqdist", "Squared distance via patterns", p, inputs)
+    }
+
+    #[test]
+    fn behaves_like_a_benchmark() {
+        let b = sq_dist_bench();
+        assert_eq!(b.program().ops().len(), 1, "fused to one reduce");
+        let space = b.param_space();
+        assert!(space.is_legal(&b.default_params()));
+        let design = b.build(&b.default_params()).unwrap();
+        assert_eq!(design.name(), "sqdist");
+        let w = b.work();
+        assert!(w.flops > 0.0 && w.bytes_read > 0.0);
+        let k = b.hls_kernel().unwrap();
+        assert!(k.total_ops() > 0);
+    }
+
+    #[test]
+    fn reference_is_the_interpreter() {
+        let b = sq_dist_bench();
+        let r = b.reference();
+        let manual: f64 = {
+            let i = b.inputs();
+            i["a"].iter().zip(&i["b"]).map(|(x, y)| (x - y) * (x - y)).sum()
+        };
+        assert!((r["dist"][0] - manual).abs() < 1e-3 * manual.abs());
+    }
+
+    #[test]
+    #[should_panic(expected = "missing input")]
+    fn missing_inputs_rejected_eagerly() {
+        let mut p = PatternProgram::new();
+        let a = p.input("a", 8, DType::F32);
+        p.map("out", &[a], Expr::input(0));
+        PatternBenchmark::new("x", "y", p, Arrays::new());
+    }
+}

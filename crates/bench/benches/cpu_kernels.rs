@@ -1,0 +1,25 @@
+//! Host CPU baseline kernel performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dhdl_apps::{BlackScholes, DotProduct, Gemm};
+
+fn bench_cpu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_kernels");
+    group.sample_size(10);
+    let dot = DotProduct::new(96_000);
+    group.bench_function("dotproduct_96k", |b| {
+        b.iter(|| std::hint::black_box(dhdl_cpu::run(&dot, 1)))
+    });
+    let gemm = Gemm::new(96, 96, 96);
+    group.bench_function("gemm_96", |b| {
+        b.iter(|| std::hint::black_box(dhdl_cpu::run(&gemm, 1)))
+    });
+    let bs = BlackScholes::new(9_600);
+    group.bench_function("blackscholes_9600", |b| {
+        b.iter(|| std::hint::black_box(dhdl_cpu::run(&bs, 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Design-space exploration throughput (points evaluated per second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dhdl_apps::{Benchmark, DotProduct};
+use dhdl_dse::{explore, DseOptions};
+use dhdl_estimate::Estimator;
+use dhdl_target::Platform;
+
+fn bench_dse(c: &mut Criterion) {
+    let platform = Platform::maia();
+    let (estimator, _) = Estimator::calibrate_with(&platform, 60, 9);
+    let bench = DotProduct::default();
+    let space = bench.param_space();
+    let mut group = c.benchmark_group("dse_explore");
+    group.sample_size(10);
+    for points in [25usize, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(points), &points, |b, &n| {
+            let opts = DseOptions {
+                max_points: n,
+                ..DseOptions::default()
+            };
+            b.iter(|| {
+                std::hint::black_box(explore(
+                    |p| bench.build(p),
+                    &space,
+                    &estimator,
+                    &opts,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dse);
+criterion_main!(benches);

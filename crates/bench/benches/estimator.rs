@@ -1,0 +1,33 @@
+//! Estimator throughput: the headline claim of Table IV is that a full
+//! cycle+area estimate takes milliseconds per design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dhdl_apps::{Benchmark, Gda};
+use dhdl_estimate::Estimator;
+use dhdl_target::Platform;
+
+fn bench_estimator(c: &mut Criterion) {
+    let platform = Platform::maia();
+    let (estimator, _) = Estimator::calibrate_with(&platform, 60, 7);
+    let gda = Gda::default();
+    let design = gda.build(&gda.default_params()).unwrap();
+
+    c.bench_function("estimate_full_gda", |b| {
+        b.iter(|| std::hint::black_box(estimator.estimate(&design)))
+    });
+    c.bench_function("estimate_cycles_gda", |b| {
+        b.iter(|| std::hint::black_box(estimator.cycles(&design)))
+    });
+    c.bench_function("estimate_area_gda", |b| {
+        b.iter(|| std::hint::black_box(estimator.area(&design)))
+    });
+    c.bench_function("instantiate_plus_estimate_gda", |b| {
+        b.iter(|| {
+            let d = gda.build(&gda.default_params()).unwrap();
+            std::hint::black_box(estimator.estimate(&d))
+        })
+    });
+}
+
+criterion_group!(benches, bench_estimator);
+criterion_main!(benches);

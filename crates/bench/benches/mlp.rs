@@ -1,0 +1,36 @@
+//! Neural-network library performance: forward pass and RPROP training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dhdl_mlp::{train_rprop, Activation, Dataset, Mlp, TrainConfig};
+
+fn bench_mlp(c: &mut Criterion) {
+    // The paper's network shape: 11 inputs, 6 hidden, 1 output.
+    let net = Mlp::new(&[11, 6, 1], Activation::Sigmoid, 3);
+    let x = [0.3f64; 11];
+    c.bench_function("mlp_forward_11_6_1", |b| {
+        b.iter(|| std::hint::black_box(net.forward(&x)))
+    });
+
+    let mut data = Dataset::new();
+    for i in 0..200 {
+        let v = i as f64 / 200.0;
+        data.push(&[v; 11], &[v * v]);
+    }
+    let mut group = c.benchmark_group("mlp_train");
+    group.sample_size(10);
+    group.bench_function("rprop_200x100epochs", |b| {
+        b.iter(|| {
+            let mut n = Mlp::new(&[11, 6, 1], Activation::Sigmoid, 3);
+            let cfg = TrainConfig {
+                max_epochs: 100,
+                target_mse: 0.0,
+                ..TrainConfig::default()
+            };
+            std::hint::black_box(train_rprop(&mut n, &data, &cfg))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mlp);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Simulator throughput (the execution substrate's cost per benchmark run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dhdl_apps::{Benchmark, DotProduct, Gda};
+use dhdl_sim::{simulate, Bindings};
+use dhdl_target::Platform;
+
+fn bindings_for(bench: &dyn Benchmark) -> Bindings {
+    let mut b = Bindings::new();
+    for (name, data) in bench.inputs() {
+        b = b.bind(&name, data);
+    }
+    b
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let platform = Platform::maia();
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+
+    let dot = DotProduct::new(9_600);
+    let dot_design = dot.build(&dot.default_params()).unwrap();
+    let dot_bind = bindings_for(&dot);
+    group.bench_function("dotproduct_9600", |b| {
+        b.iter(|| std::hint::black_box(simulate(&dot_design, &platform, &dot_bind).unwrap()))
+    });
+
+    let gda = Gda::new(384, 16);
+    let gda_design = gda.build(&gda.default_params()).unwrap();
+    let gda_bind = bindings_for(&gda);
+    group.bench_function("gda_384x16", |b| {
+        b.iter(|| std::hint::black_box(simulate(&gda_design, &platform, &gda_bind).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

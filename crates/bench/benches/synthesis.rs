@@ -1,0 +1,24 @@
+//! Synthesis-model and code-generation performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dhdl_apps::{Benchmark, Gda};
+use dhdl_synth::{elaborate, maxj, synthesize};
+use dhdl_target::FpgaTarget;
+
+fn bench_synth(c: &mut Criterion) {
+    let target = FpgaTarget::stratix_v();
+    let gda = Gda::default();
+    let design = gda.build(&gda.default_params()).unwrap();
+    c.bench_function("elaborate_gda", |b| {
+        b.iter(|| std::hint::black_box(elaborate(&design, &target)))
+    });
+    c.bench_function("synthesize_gda", |b| {
+        b.iter(|| std::hint::black_box(synthesize(&design, &target)))
+    });
+    c.bench_function("maxj_codegen_gda", |b| {
+        b.iter(|| std::hint::black_box(maxj::generate(&design)))
+    });
+}
+
+criterion_group!(benches, bench_synth);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **MetaPipe value** — best design with coarse-grained pipelining
+//!    explored vs. all MetaPipe toggles forced off (Sequential only);
+//! 2. **Hybrid estimator value** — ALM error of the hybrid (NN-corrected)
+//!    estimator vs. the raw analytical estimate, against synthesis truth;
+//! 3. **Pruning value** — size of the divisor-pruned legal space vs. the
+//!    unpruned integer box, i.e. how much sampling the heuristics save.
+
+use dhdl_bench::report::{pct, times, write_result, Table};
+use dhdl_bench::Harness;
+use dhdl_core::ParamKind;
+use dhdl_estimate::{features, random_design, raw_estimate};
+use dhdl_synth::{design_hash, elaborate, place_and_route};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let points = env_usize("DHDL_DSE_POINTS", 1_000);
+    eprintln!("calibrating estimator...");
+    let harness = Harness::new(0xAB1A, points);
+
+    ablation_metapipe(&harness);
+    ablation_hybrid(&harness);
+    ablation_pruning();
+}
+
+/// 1: value of coarse-grained pipelining.
+fn ablation_metapipe(harness: &Harness) {
+    let mut t = Table::new(&[
+        "Benchmark",
+        "best cycles (MetaPipe explored)",
+        "best cycles (Sequential only)",
+        "MetaPipe advantage",
+    ]);
+    for bench in dhdl_apps::all() {
+        let dse = harness.explore(bench.as_ref());
+        let toggles: Vec<String> = bench
+            .param_space()
+            .defs()
+            .iter()
+            .filter(|d| matches!(d.kind, ParamKind::Toggle))
+            .map(|d| d.name.clone())
+            .collect();
+        let best_any = dse.best().map(|p| p.cycles);
+        let best_seq = dse
+            .points
+            .iter()
+            .filter(|p| p.valid && toggles.iter().all(|n| p.params.get(n) == Some(0)))
+            .map(|p| p.cycles)
+            .fold(f64::INFINITY, f64::min);
+        let (Some(any), seq) = (best_any, best_seq) else {
+            continue;
+        };
+        let adv = if seq.is_finite() { seq / any } else { f64::NAN };
+        t.row(&[
+            bench.name().to_string(),
+            format!("{any:.0}"),
+            if seq.is_finite() {
+                format!("{seq:.0}")
+            } else {
+                "(none sampled)".into()
+            },
+            if adv.is_finite() { times(adv) } else { "-".into() },
+        ]);
+    }
+    println!("\nAblation 1: MetaPipe (coarse-grained pipelining) value\n");
+    println!("{}", t.render());
+    write_result("ablation_metapipe.csv", &t.to_csv());
+}
+
+/// 2: value of the learned correction in the hybrid area estimator.
+fn ablation_hybrid(harness: &Harness) {
+    let target = &harness.platform.fpga;
+    let model = harness.estimator.area_model();
+    let n = 60usize;
+    let mut hybrid_err = 0.0f64;
+    let mut raw_err = 0.0f64;
+    for k in 0..n {
+        // Held-out random designs (different seed stream from training).
+        let design = random_design(0xE0_0000 + k as u64);
+        let net = elaborate(&design, target);
+        let truth = place_and_route(design_hash(&design), &net, target).area_report();
+        let hybrid = model.estimate_net(&net);
+        let raw = raw_estimate(&net, target);
+        let _ = features(&net);
+        hybrid_err += ((hybrid.alms - truth.alms) / truth.alms).abs();
+        raw_err += ((raw.alms - truth.alms) / truth.alms).abs();
+    }
+    let mut t = Table::new(&["Estimator", "avg ALM error (held-out designs)"]);
+    t.row(&["hybrid (analytical + NN)".into(), pct(hybrid_err / n as f64)]);
+    t.row(&["raw analytical only".into(), pct(raw_err / n as f64)]);
+    println!("\nAblation 2: hybrid estimation vs raw analytical ({n} held-out designs)\n");
+    println!("{}", t.render());
+    write_result("ablation_hybrid.csv", &t.to_csv());
+}
+
+/// 3: value of the divisor pruning heuristics.
+fn ablation_pruning() {
+    let mut t = Table::new(&[
+        "Benchmark",
+        "unpruned box size",
+        "legal (pruned) size",
+        "reduction",
+    ]);
+    for bench in dhdl_apps::all() {
+        let space = bench.param_space();
+        let mut unpruned: f64 = 1.0;
+        let mut pruned: f64 = 1.0;
+        for def in space.defs() {
+            let legal = def.kind.legal_values().len() as f64;
+            pruned *= legal;
+            unpruned *= match def.kind {
+                ParamKind::Tile { min, max, .. } => (max - min + 1) as f64,
+                ParamKind::Par { max, .. } => max as f64,
+                ParamKind::Toggle => 2.0,
+            };
+        }
+        t.row(&[
+            bench.name().to_string(),
+            format!("{unpruned:.3e}"),
+            format!("{pruned:.0}"),
+            format!("{:.0}x", unpruned / pruned),
+        ]);
+    }
+    println!("\nAblation 3: legal-subspace pruning (§IV-C heuristics)\n");
+    println!("{}", t.render());
+    write_result("ablation_pruning.csv", &t.to_csv());
+}

@@ -1,0 +1,272 @@
+//! The `dhdl` command-line tool: estimate, explore, simulate, profile and
+//! generate code for any benchmark of the suite, from the shell.
+//!
+//! ```text
+//! dhdl list
+//! dhdl estimate <benchmark> [param=value ...]
+//! dhdl explore  <benchmark> [--points N]
+//! dhdl simulate <benchmark> [param=value ...] [--profile]
+//! dhdl codegen  <benchmark> [param=value ...]
+//! dhdl bottleneck <benchmark> [param=value ...]
+//! dhdl trace    <benchmark> [param=value ...]   # writes results/<bench>.vcd
+//! dhdl hls      <benchmark>                     # Figure 2 style C source
+//! ```
+
+use dhdl_bench::report::Table;
+use dhdl_bench::Harness;
+use dhdl_core::ParamValues;
+use dhdl_synth::{maxj, synthesize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        usage();
+        return;
+    };
+    match cmd {
+        "list" => list(),
+        "estimate" | "explore" | "simulate" | "codegen" | "bottleneck" | "trace" | "hls" => {
+            let Some(name) = args.get(1) else {
+                eprintln!("missing benchmark name");
+                usage();
+                std::process::exit(2);
+            };
+            let Some(bench) = dhdl_apps::by_name(name) else {
+                eprintln!("unknown benchmark `{name}` (try `dhdl list`)");
+                std::process::exit(2);
+            };
+            let rest = &args[2..];
+            match cmd {
+                "estimate" => estimate(bench.as_ref(), rest),
+                "explore" => explore(bench.as_ref(), rest),
+                "simulate" => sim(bench.as_ref(), rest),
+                "codegen" => codegen(bench.as_ref(), rest),
+                "bottleneck" => bottleneck(bench.as_ref(), rest),
+                "trace" => trace(bench.as_ref(), rest),
+                "hls" => hls(bench.as_ref()),
+                _ => unreachable!(),
+            }
+        }
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage:\n  dhdl list\n  dhdl estimate <benchmark> [param=value ...]\n  \
+         dhdl explore  <benchmark> [--points N]\n  \
+         dhdl simulate <benchmark> [param=value ...] [--profile]\n  \
+         dhdl codegen  <benchmark> [param=value ...]\n  \
+         dhdl bottleneck <benchmark> [param=value ...]"
+    );
+}
+
+/// Parse `key=value` overrides on top of the benchmark's defaults.
+fn params_from(bench: &dyn dhdl_apps::Benchmark, rest: &[String]) -> ParamValues {
+    let mut p = bench.default_params();
+    for arg in rest {
+        if let Some((k, v)) = arg.split_once('=') {
+            match v.parse::<u64>() {
+                Ok(v) => {
+                    p.set(k, v);
+                }
+                Err(_) => {
+                    eprintln!("ignoring non-numeric parameter `{arg}`");
+                }
+            }
+        }
+    }
+    if !bench.param_space().is_legal(&p) {
+        eprintln!("warning: {p} is outside the legal (pruned) space");
+    }
+    p
+}
+
+fn flag(rest: &[String], name: &str) -> bool {
+    rest.iter().any(|a| a == name)
+}
+
+fn opt_usize(rest: &[String], name: &str, default: usize) -> usize {
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn list() {
+    let mut t = Table::new(&["benchmark", "description", "scaled dataset", "space size"]);
+    for b in dhdl_apps::all() {
+        t.row(&[
+            b.name().to_string(),
+            b.description().to_string(),
+            b.dataset_desc(),
+            b.param_space().size().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn estimate(bench: &dyn dhdl_apps::Benchmark, rest: &[String]) {
+    let p = params_from(bench, rest);
+    eprintln!("calibrating estimator...");
+    let harness = Harness::new(0xC11, 100);
+    let design = bench.build(&p).expect("design builds");
+    let est = harness.estimator.estimate(&design);
+    let platform = &harness.platform;
+    println!("design:  {} with {p}", design.name());
+    println!(
+        "cycles:  {:.0} ({:.4} ms at {} MHz)",
+        est.cycles,
+        est.seconds(platform) * 1e3,
+        platform.fpga.fabric_clock_hz / 1e6
+    );
+    println!(
+        "area:    {:.0} ALMs ({:.1}%), {:.0} DSPs, {:.0} BRAMs, {:.0} regs",
+        est.area.alms,
+        100.0 * est.area.alms / platform.fpga.alms as f64,
+        est.area.dsps,
+        est.area.brams,
+        est.area.regs
+    );
+    println!(
+        "power:   {:.2} W ({:.3} mJ per run)",
+        est.watts(platform),
+        est.joules(platform) * 1e3
+    );
+    let truth = synthesize(&design, &platform.fpga);
+    println!(
+        "synth:   {:.0} ALMs, {:.0} DSPs, {:.0} BRAMs (place-and-route model)",
+        truth.alms, truth.dsps, truth.brams
+    );
+    println!(
+        "class:   {}",
+        dhdl_estimate::classify(&design, &est, platform)
+    );
+}
+
+/// Print the benchmark in the C-like HLS form (Figure 2 of the paper).
+fn hls(bench: &dyn dhdl_apps::Benchmark) {
+    match bench.hls_kernel() {
+        Some(k) => println!("{}", dhdl_hls::to_c(&k)),
+        None => eprintln!("{} has no HLS form", bench.name()),
+    }
+}
+
+fn explore(bench: &dyn dhdl_apps::Benchmark, rest: &[String]) {
+    let points = opt_usize(rest, "--points", 1_000);
+    eprintln!("calibrating estimator...");
+    let harness = Harness::new(0xC12, points);
+    let dse = harness.explore(bench);
+    println!(
+        "space {} points; evaluated {}, {} discarded, {} Pareto-optimal:",
+        dse.space_size,
+        dse.points.len(),
+        dse.discarded,
+        dse.pareto.len()
+    );
+    let mut t = Table::new(&["params", "cycles", "ALMs", "DSPs", "BRAMs"]);
+    for p in dse.pareto_points().take(15) {
+        t.row(&[
+            p.params.to_string(),
+            format!("{:.0}", p.cycles),
+            format!("{:.0}", p.area.alms),
+            format!("{:.0}", p.area.dsps),
+            format!("{:.0}", p.area.brams),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn sim(bench: &dyn dhdl_apps::Benchmark, rest: &[String]) {
+    let p = params_from(bench, rest);
+    let harness = Harness::new(0xC13, 50);
+    let design = bench.build(&p).expect("design builds");
+    let result = harness.simulate(bench, &design);
+    println!(
+        "simulated {} with {p}: {:.0} cycles ({:.4} ms), {} off-chip transfers",
+        bench.name(),
+        result.cycles,
+        result.seconds(&harness.platform) * 1e3,
+        result.transfers
+    );
+    // Validate against the reference.
+    let mut worst: f64 = 0.0;
+    for (name, expected) in bench.reference() {
+        if let Ok(got) = result.output(&name) {
+            let scale = expected.iter().map(|v| v.abs()).fold(1e-30, f64::max);
+            for (g, e) in got.iter().zip(&expected) {
+                worst = worst.max((g - e).abs() / scale);
+            }
+        }
+    }
+    println!("worst relative output error vs reference: {worst:.2e}");
+    if flag(rest, "--profile") {
+        println!("\nper-controller cycles (heaviest first):");
+        for e in result.profile().iter().take(12) {
+            println!("{:>14.0} cycles  {:>8} runs  {}", e.cycles, e.executions, e.label);
+        }
+    }
+}
+
+fn codegen(bench: &dyn dhdl_apps::Benchmark, rest: &[String]) {
+    let p = params_from(bench, rest);
+    let design = bench.build(&p).expect("design builds");
+    println!("{}", maxj::generate(&design));
+}
+
+/// Simulate and write a VCD waveform of controller activity.
+fn trace(bench: &dyn dhdl_apps::Benchmark, rest: &[String]) {
+    let p = params_from(bench, rest);
+    let harness = Harness::new(0xC15, 50);
+    let design = bench.build(&p).expect("design builds");
+    let result = harness.simulate(bench, &design);
+    let vcd = result.trace().to_vcd(&design);
+    let path = dhdl_bench::report::write_result(&format!("{}.vcd", bench.name()), &vcd);
+    println!(
+        "simulated {:.0} cycles; wrote {} ({} events)",
+        result.cycles,
+        path.display(),
+        result.trace().len()
+    );
+}
+
+/// Attribute estimated runtime and area to controllers and template
+/// classes — the "balance compute with memory bandwidth" analysis of §I.
+fn bottleneck(bench: &dyn dhdl_apps::Benchmark, rest: &[String]) {
+    use dhdl_estimate::estimate_breakdown;
+    use dhdl_synth::elaborate;
+    let p = params_from(bench, rest);
+    let harness = Harness::new(0xC14, 50);
+    let design = bench.build(&p).expect("design builds");
+    println!("estimated cycle attribution (heaviest controllers first):");
+    for e in estimate_breakdown(&design, &harness.platform).iter().take(10) {
+        println!(
+            "{:>14.0} cycles  {:>10.0} runs x {:>10.0}  {}",
+            e.total, e.executions, e.per_execution, e.label
+        );
+    }
+    let net = elaborate(&design, &harness.platform.fpga);
+    println!("\nraw area by template class (LUTs / regs / DSPs / BRAMs):");
+    let rows = [
+        ("primitives", net.breakdown.primitives),
+        ("memories", net.breakdown.memories),
+        ("control", net.breakdown.control),
+        ("transfers", net.breakdown.transfers),
+        ("delays", net.breakdown.delays),
+    ];
+    for (name, r) in rows {
+        println!(
+            "  {name:<11} {:>10.0} {:>10.0} {:>6.0} {:>6.0}",
+            r.luts(),
+            r.regs,
+            r.dsps,
+            r.brams
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Developer tool: per-point breakdown of estimate vs. ground truth for
+//! one benchmark's Pareto points (signed errors, raw components).
+//!
+//! Usage: `diagnose [benchmark] [pareto_points]`
+
+use dhdl_bench::report::Table;
+use dhdl_bench::Harness;
+use dhdl_synth::elaborate;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("gda");
+    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let bench = dhdl_apps::by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{name}`");
+        std::process::exit(1);
+    });
+    let harness = Harness::new(0xD4D1, 1_000);
+    let dse = harness.explore(bench.as_ref());
+    let picks = harness.pareto_sample(&dse, n);
+    let mut t = Table::new(&[
+        "params",
+        "ALM est/truth",
+        "raw luts(p/u)",
+        "regs est/truth",
+        "BRAM est/truth (raw)",
+        "DSP est/truth",
+        "cycles est/sim",
+    ]);
+    for p in &picks {
+        let e = harness.evaluate(bench.as_ref(), p);
+        let design = bench.build(p).expect("builds");
+        let net = elaborate(&design, &harness.platform.fpga);
+        t.row(&[
+            p.to_string(),
+            format!("{:.0}/{:.0}", e.est_area.alms, e.synth.alms),
+            format!("{:.0}/{:.0}", net.raw.lut_packable, net.raw.lut_unpackable),
+            format!("{:.0}/{:.0}", e.est_area.regs, e.synth.regs),
+            format!(
+                "{:.0}/{:.0} ({:.0})",
+                e.est_area.brams, e.synth.brams, net.raw.brams
+            ),
+            format!("{:.0}/{:.0}", e.est_area.dsps, e.synth.dsps),
+            format!("{:.0}/{:.0}", e.est_cycles, e.sim_cycles),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,79 @@
+//! Energy-efficiency extension: the paper's introduction motivates
+//! accelerators with "orders of magnitude improvements in performance and
+//! energy efficiency" (§I). This binary quantifies the energy side for
+//! the best generated designs: FPGA power from the platform power model
+//! over synthesized area, versus the 95 W TDP Xeon E5-2630 running the
+//! modeled CPU time.
+
+use dhdl_bench::report::{times, write_result, Table};
+use dhdl_bench::Harness;
+use dhdl_cpu::XeonModel;
+use dhdl_synth::synthesize;
+
+/// Thermal design power of the Xeon E5-2630 (watts).
+const XEON_TDP_W: f64 = 95.0;
+
+fn main() {
+    let points = std::env::var("DHDL_DSE_POINTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000);
+    eprintln!("calibrating estimator...");
+    let harness = Harness::new(0xE6E6, points);
+    let xeon = XeonModel::default();
+
+    let mut t = Table::new(&[
+        "Benchmark",
+        "FPGA W",
+        "FPGA mJ",
+        "CPU W",
+        "CPU mJ",
+        "Energy advantage",
+        "Perf advantage",
+    ]);
+    let mut csv = String::from("benchmark,fpga_w,fpga_j,cpu_w,cpu_j,energy_ratio\n");
+    for bench in dhdl_apps::all() {
+        eprintln!("exploring {} ...", bench.name());
+        let dse = harness.explore(bench.as_ref());
+        let best = dse.best().expect("valid design");
+        let design = bench.build(&best.params).expect("builds");
+        let sim = harness.simulate(bench.as_ref(), &design);
+        let fpga_s = sim.seconds(&harness.platform);
+        // Power priced over the *synthesized* (ground truth) area.
+        let area = synthesize(&design, &harness.platform.fpga).area_report();
+        let fpga_w = harness
+            .platform
+            .power
+            .watts(&area, harness.platform.fpga.fabric_clock_hz);
+        let fpga_j = fpga_w * fpga_s;
+        let cpu_s = xeon.seconds(&bench.work());
+        let cpu_j = XEON_TDP_W * cpu_s;
+        t.row(&[
+            bench.name().to_string(),
+            format!("{fpga_w:.2}"),
+            format!("{:.3}", fpga_j * 1e3),
+            format!("{XEON_TDP_W:.0}"),
+            format!("{:.3}", cpu_j * 1e3),
+            times(cpu_j / fpga_j),
+            times(cpu_s / fpga_s),
+        ]);
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            csv,
+            "{},{:.4},{:.6e},{:.1},{:.6e},{:.3}",
+            bench.name(),
+            fpga_w,
+            fpga_j,
+            XEON_TDP_W,
+            cpu_j,
+            cpu_j / fpga_j
+        );
+    }
+    println!("\nEnergy efficiency of best generated designs vs the 6-core CPU\n");
+    println!("{}", t.render());
+    println!(
+        "(FPGA power from the Stratix V power model over synthesized area; CPU at TDP.)"
+    );
+    let path = write_result("energy.csv", &csv);
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,134 @@
+//! Figure 5: design-space exploration scatter plots.
+//!
+//! For every benchmark, samples the legal design space, estimates each
+//! point, and emits the three panels of the paper's Figure 5 row (ALM,
+//! DSP and BRAM utilization vs. log-cycles) as CSV plus an ASCII render of
+//! the ALM panel, with Pareto-optimal designs highlighted. Ends with the
+//! boundedness analysis of §V-C1 (which resource limits each benchmark's
+//! Pareto front).
+
+use dhdl_bench::report::{ascii_scatter, pct, write_result, Table};
+use dhdl_bench::Harness;
+use dhdl_dse::{frontier_along, ResourceAxis};
+use std::fmt::Write as _;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    // The paper samples up to 75,000 legal points per benchmark; default
+    // lower here for quick runs (set DHDL_FIG5_POINTS=75000 to match).
+    let points = env_usize("DHDL_FIG5_POINTS", 3_000);
+    eprintln!("calibrating estimator...");
+    let harness = Harness::new(0xF165, points);
+    let target = &harness.platform.fpga;
+
+    let mut bound_table = Table::new(&[
+        "Benchmark",
+        "space size",
+        "evaluated",
+        "valid",
+        "pareto",
+        "binding resource on front",
+        "best-design class",
+        "paper's finding",
+    ]);
+    let paper_findings = [
+        ("dotproduct", "memory-bound; MetaPipe cheaper than Sequential"),
+        ("outerprod", "BRAM + memory bound; no MetaPipe on loads/stores"),
+        ("gemm", "Pareto designs occupy almost all BRAM"),
+        ("tpchq6", "memory-intensive; plateau with tile size"),
+        ("blackscholes", "ALM bound (par 16 would be memory bound)"),
+        ("gda", "compute bound; BRAM critical via banking"),
+        ("kmeans", "ALM bound; BRAM banking under-utilization"),
+    ];
+
+    for bench in dhdl_apps::all() {
+        eprintln!("exploring {} ({points} samples)...", bench.name());
+        let dse = harness.explore(bench.as_ref());
+        // CSV: one row per point with all three panels' coordinates, the
+        // (cycles, ALM) front highlighted across panels as in the paper,
+        // plus the per-axis frontiers.
+        let mut csv = String::from(
+            "alm_frac,dsp_frac,bram_frac,cycles,valid,pareto,pareto_dsp,pareto_bram\n",
+        );
+        let pareto: std::collections::BTreeSet<usize> = dse.pareto.iter().copied().collect();
+        let dsp_front: std::collections::BTreeSet<usize> =
+            frontier_along(&dse, ResourceAxis::Dsps).into_iter().collect();
+        let bram_front: std::collections::BTreeSet<usize> =
+            frontier_along(&dse, ResourceAxis::Brams).into_iter().collect();
+        let mut scatter = Vec::new();
+        for (i, p) in dse.points.iter().enumerate() {
+            let (a, d, b) = p.area.utilization(target);
+            let class = if pareto.contains(&i) {
+                2
+            } else {
+                u8::from(p.valid)
+            };
+            let _ = writeln!(
+                csv,
+                "{a:.4},{d:.4},{b:.4},{:.0},{},{},{},{}",
+                p.cycles,
+                u8::from(p.valid),
+                u8::from(pareto.contains(&i)),
+                u8::from(dsp_front.contains(&i)),
+                u8::from(bram_front.contains(&i))
+            );
+            scatter.push((a, p.cycles, class));
+        }
+        let path = write_result(&format!("fig5_{}.csv", bench.name()), &csv);
+        println!("\n=== {} ({} pts, wrote {}) ===", bench.name(), dse.points.len(), path.display());
+        println!("{}", ascii_scatter(&scatter, 64, 16));
+
+        // Boundedness: which resource is closest to its capacity across
+        // the Pareto front.
+        let mut maxu = [0.0f64; 3];
+        for &i in &dse.pareto {
+            let (a, d, b) = dse.points[i].area.utilization(target);
+            maxu[0] = maxu[0].max(a);
+            maxu[1] = maxu[1].max(d);
+            maxu[2] = maxu[2].max(b);
+        }
+        let names = ["ALM", "DSP", "BRAM"];
+        let (bi, bu) = maxu
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("three resources");
+        let valid = dse.points.iter().filter(|p| p.valid).count();
+        let finding = paper_findings
+            .iter()
+            .find(|f| f.0 == bench.name())
+            .map_or("", |f| f.1);
+        // Classify the fastest valid design with the bottleneck analyzer.
+        let class = dse
+            .best()
+            .and_then(|best| bench.build(&best.params).ok().map(|d| (d, best)))
+            .map(|(design, best)| {
+                let est = dhdl_estimate::Estimate {
+                    cycles: best.cycles,
+                    area: best.area,
+                };
+                dhdl_estimate::classify(&design, &est, &harness.platform).to_string()
+            })
+            .unwrap_or_default();
+        bound_table.row(&[
+            bench.name().to_string(),
+            dse.space_size.to_string(),
+            dse.points.len().to_string(),
+            valid.to_string(),
+            dse.pareto.len().to_string(),
+            format!("{} ({})", names[bi], pct(*bu)),
+            class,
+            finding.to_string(),
+        ]);
+    }
+    println!("\nFigure 5 summary: boundedness of the Pareto front per benchmark\n");
+    println!("{}", bound_table.render());
+    let path = write_result("fig5_summary.csv", &bound_table.to_csv());
+    println!("wrote {}", path.display());
+}

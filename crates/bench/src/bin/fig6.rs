@@ -1,0 +1,104 @@
+//! Figure 6: speedups of the best generated designs over the 6-core CPU.
+//!
+//! For each benchmark: explore the design space, take the
+//! fastest valid (Pareto) design, simulate it on the platform model to get
+//! FPGA execution time, and compare against the modeled Xeon E5-2630 CPU
+//! time for the same (scaled) dataset. Measured host-CPU kernel times are
+//! reported alongside for reference (they are host-specific and not used
+//! for the normalized comparison).
+
+use dhdl_bench::report::{times, write_result, Table};
+use dhdl_bench::Harness;
+use dhdl_cpu::XeonModel;
+use dhdl_dse::refine;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The paper's Figure 6 speedups.
+const PAPER: &[(&str, f64)] = &[
+    ("dotproduct", 1.07),
+    ("outerprod", 2.42),
+    ("gemm", 0.10),
+    ("tpchq6", 1.11),
+    ("blackscholes", 16.73),
+    ("gda", 4.55),
+    ("kmeans", 1.15),
+];
+
+fn main() {
+    let points = env_usize("DHDL_DSE_POINTS", 1_500);
+    eprintln!("calibrating estimator...");
+    let harness = Harness::new(0xF166, points);
+    let xeon = XeonModel::default();
+
+    let mut t = Table::new(&[
+        "Benchmark",
+        "FPGA (ms)",
+        "CPU model (ms)",
+        "Speedup",
+        "Paper",
+        "Host CPU (ms, measured)",
+        "Best params",
+    ]);
+    let mut csv_rows = Vec::new();
+    for bench in dhdl_apps::all() {
+        eprintln!("exploring {} ...", bench.name());
+        let sampled = harness.explore(bench.as_ref());
+        // Local-search refinement around the sampled Pareto front.
+        let dse = refine(
+            |p| bench.build(p),
+            &bench.param_space(),
+            &harness.estimator,
+            &harness.dse,
+            &sampled,
+            2,
+        );
+        let best = dse
+            .best()
+            .unwrap_or_else(|| panic!("{}: no valid design found", bench.name()));
+        eprintln!(
+            "  best: {} (est {:.0} cycles); simulating...",
+            best.params, best.cycles
+        );
+        let design = bench.build(&best.params).expect("best point builds");
+        let sim = harness.simulate(bench.as_ref(), &design);
+        let fpga_s = sim.seconds(&harness.platform);
+        let cpu_s = xeon.seconds(&bench.work());
+        let host = dhdl_cpu::run(bench.as_ref(), 3);
+        let speedup = cpu_s / fpga_s;
+        let paper = PAPER
+            .iter()
+            .find(|p| p.0 == bench.name())
+            .map_or(0.0, |p| p.1);
+        t.row(&[
+            bench.name().to_string(),
+            format!("{:.3}", fpga_s * 1e3),
+            format!("{:.3}", cpu_s * 1e3),
+            times(speedup),
+            times(paper),
+            format!("{:.3}", host.elapsed.as_secs_f64() * 1e3),
+            best.params.to_string(),
+        ]);
+        csv_rows.push(format!(
+            "{},{:.6e},{:.6e},{:.3},{:.3}",
+            bench.name(),
+            fpga_s,
+            cpu_s,
+            speedup,
+            paper
+        ));
+    }
+    println!("\nFigure 6: speedups of most performant FPGA designs over the 6-core CPU\n");
+    println!("{}", t.render());
+    let csv = format!(
+        "benchmark,fpga_s,cpu_model_s,speedup,paper_speedup\n{}\n",
+        csv_rows.join("\n")
+    );
+    let path = write_result("fig6.csv", &csv);
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,76 @@
+//! Parameter sensitivity sweep: hold a benchmark's parameters at their
+//! defaults and vary one across its legal values, reporting estimated
+//! cycles/area/power at each point — the one-dimensional slices of the
+//! paper's Figure 5 discussion ("points along the same vertical bar share
+//! the same inner loop parallelization factor").
+//!
+//! Usage: `sweep <benchmark> <param>`
+
+use dhdl_bench::report::{write_result, Table};
+use dhdl_bench::Harness;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(name), Some(param)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: sweep <benchmark> <param>");
+        std::process::exit(2);
+    };
+    let Some(bench) = dhdl_apps::by_name(name) else {
+        eprintln!("unknown benchmark `{name}`");
+        std::process::exit(2);
+    };
+    let space = bench.param_space();
+    let Some(def) = space.defs().iter().find(|d| d.name == *param) else {
+        let names: Vec<&str> = space.defs().iter().map(|d| d.name.as_str()).collect();
+        eprintln!("unknown parameter `{param}`; available: {names:?}");
+        std::process::exit(2);
+    };
+    eprintln!("calibrating estimator...");
+    let harness = Harness::new(0x53EE, 100);
+    let mut t = Table::new(&[
+        param,
+        "cycles",
+        "ms @150MHz",
+        "ALMs",
+        "DSPs",
+        "BRAMs",
+        "W",
+        "fits",
+    ]);
+    for value in def.kind.legal_values() {
+        let mut p = bench.default_params();
+        p.set(param, value);
+        let Ok(design) = bench.build(&p) else {
+            t.row(&[
+                value.to_string(),
+                "(build failed)".into(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]);
+            continue;
+        };
+        let est = harness.estimator.estimate(&design);
+        t.row(&[
+            value.to_string(),
+            format!("{:.0}", est.cycles),
+            format!("{:.4}", est.seconds(&harness.platform) * 1e3),
+            format!("{:.0}", est.area.alms),
+            format!("{:.0}", est.area.dsps),
+            format!("{:.0}", est.area.brams),
+            format!("{:.2}", est.watts(&harness.platform)),
+            est.area.fits(&harness.platform.fpga).to_string(),
+        ]);
+    }
+    println!(
+        "\nSweep of `{param}` for {} (other parameters at defaults {})\n",
+        bench.name(),
+        bench.default_params()
+    );
+    println!("{}", t.render());
+    let path = write_result(&format!("sweep_{}_{}.csv", bench.name(), param), &t.to_csv());
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,32 @@
+//! Table II: the evaluation benchmarks and dataset sizes.
+
+use dhdl_bench::report::{write_result, Table};
+
+fn main() {
+    let mut t = Table::new(&[
+        "Benchmark",
+        "Description",
+        "Paper dataset",
+        "Scaled dataset (this run)",
+        "Design parameters",
+    ]);
+    for b in dhdl_apps::all() {
+        let space = b.param_space();
+        let params: Vec<String> = space
+            .defs()
+            .iter()
+            .map(|d| format!("{} ({} values)", d.name, d.kind.legal_values().len()))
+            .collect();
+        t.row(&[
+            b.name().to_string(),
+            b.description().to_string(),
+            b.paper_dataset().to_string(),
+            b.dataset_desc(),
+            params.join(", "),
+        ]);
+    }
+    println!("Table II: evaluation benchmarks\n");
+    println!("{}", t.render());
+    let path = write_result("table2.csv", &t.to_csv());
+    println!("wrote {}", path.display());
+}

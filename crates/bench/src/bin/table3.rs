@@ -1,0 +1,102 @@
+//! Table III: average absolute estimation error for resource usage and
+//! runtime.
+//!
+//! For each benchmark, runs design space exploration, selects five
+//! spread-out Pareto points (§V-B: "We select five Pareto points generated
+//! from our design space exploration for each of our benchmarks"),
+//! synthesizes and simulates each (the vendor-toolchain and FPGA-board
+//! substitutes), and compares against the fast estimates.
+
+use dhdl_bench::report::{pct, write_result, Table};
+use dhdl_bench::Harness;
+
+/// The paper's Table III values, for side-by-side reporting.
+const PAPER: &[(&str, f64, f64, f64, f64)] = &[
+    ("dotproduct", 0.017, 0.000, 0.131, 0.028),
+    ("outerprod", 0.044, 0.297, 0.128, 0.013),
+    ("gemm", 0.127, 0.114, 0.174, 0.184),
+    ("tpchq6", 0.023, 0.000, 0.054, 0.031),
+    ("blackscholes", 0.053, 0.053, 0.070, 0.034),
+    ("gda", 0.052, 0.062, 0.084, 0.067),
+    ("kmeans", 0.020, 0.000, 0.219, 0.070),
+];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let points = env_usize("DHDL_DSE_POINTS", 1_000);
+    let pareto_n = env_usize("DHDL_PARETO_POINTS", 5);
+    eprintln!("calibrating estimator (one-time, application independent)...");
+    let harness = Harness::new(0xD4D1, points);
+
+    let mut t = Table::new(&[
+        "Benchmark",
+        "ALMs",
+        "DSPs",
+        "BRAM",
+        "Runtime",
+        "paper ALM/DSP/BRAM/RT",
+    ]);
+    let mut sums = [0.0f64; 4];
+    let mut count = 0usize;
+    for bench in dhdl_apps::all() {
+        eprintln!("exploring {} ...", bench.name());
+        let dse = harness.explore(bench.as_ref());
+        let picks = harness.pareto_sample(&dse, pareto_n);
+        let mut errs = [0.0f64; 4];
+        for params in &picks {
+            let eval = harness.evaluate(bench.as_ref(), params);
+            let (a, d, b, r) = eval.errors();
+            errs[0] += a;
+            errs[1] += d;
+            errs[2] += b;
+            errs[3] += r;
+        }
+        let n = picks.len().max(1) as f64;
+        for e in errs.iter_mut() {
+            *e /= n;
+        }
+        let paper = PAPER
+            .iter()
+            .find(|p| p.0 == bench.name())
+            .copied()
+            .unwrap_or((bench.name(), 0.0, 0.0, 0.0, 0.0));
+        t.row(&[
+            bench.name().to_string(),
+            pct(errs[0]),
+            pct(errs[1]),
+            pct(errs[2]),
+            pct(errs[3]),
+            format!(
+                "{} / {} / {} / {}",
+                pct(paper.1),
+                pct(paper.2),
+                pct(paper.3),
+                pct(paper.4)
+            ),
+        ]);
+        for (s, e) in sums.iter_mut().zip(errs) {
+            *s += e;
+        }
+        count += 1;
+    }
+    let n = count.max(1) as f64;
+    t.row(&[
+        "Average".to_string(),
+        pct(sums[0] / n),
+        pct(sums[1] / n),
+        pct(sums[2] / n),
+        pct(sums[3] / n),
+        "4.8% / 7.5% / 12.3% / 6.1%".to_string(),
+    ]);
+    println!("\nTable III: average absolute error for resource usage and runtime");
+    println!("({pareto_n} Pareto points per benchmark, {points} DSE samples)\n");
+    println!("{}", t.render());
+    let path = write_result("table3.csv", &t.to_csv());
+    println!("wrote {}", path.display());
+}

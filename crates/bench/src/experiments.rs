@@ -1,0 +1,187 @@
+//! Shared experiment machinery: a calibrated harness plus end-to-end
+//! evaluation of individual design points (estimate + synthesize +
+//! simulate).
+
+use dhdl_apps::Benchmark;
+use dhdl_core::{Design, ParamValues};
+use dhdl_dse::{explore, spread, DseOptions, DseResult};
+use dhdl_estimate::Estimator;
+use dhdl_sim::{simulate, Bindings, SimResult};
+use dhdl_synth::{synthesize, SynthReport};
+use dhdl_target::{AreaReport, Platform};
+
+/// A calibrated evaluation harness: platform, trained estimator, and the
+/// DSE configuration used across experiments.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    /// The target platform (Stratix V on MAIA).
+    pub platform: Platform,
+    /// The calibrated estimator.
+    pub estimator: Estimator,
+    /// DSE options (sample budget, seed, memory cap).
+    pub dse: DseOptions,
+}
+
+impl Harness {
+    /// Build a harness: calibrates the estimator against the synthesis
+    /// model (the paper's one-time, application-independent training).
+    ///
+    /// Trained models are cached on disk (keyed by target and seed) in the
+    /// results directory, mirroring the paper's "characterized once for a
+    /// given target device and toolchain" workflow: the first run per seed
+    /// trains; later runs load in milliseconds.
+    pub fn new(seed: u64, dse_points: usize) -> Self {
+        let platform = Platform::maia();
+        let estimator = Self::cached_estimator(&platform, seed);
+        Harness {
+            platform,
+            estimator,
+            dse: DseOptions {
+                max_points: dse_points,
+                seed,
+                ..DseOptions::default()
+            },
+        }
+    }
+
+    fn cached_estimator(platform: &Platform, seed: u64) -> Estimator {
+        let cache = crate::report::results_dir().join(format!(
+            "model_{}_{seed:x}.txt",
+            platform.fpga.name.replace(|c: char| !c.is_alphanumeric(), "_")
+        ));
+        if let Ok(text) = std::fs::read_to_string(&cache) {
+            if let Ok(model) = dhdl_estimate::AreaEstimator::from_text(&text) {
+                return Estimator::from_model(platform, model);
+            }
+            eprintln!("stale model cache at {}; retraining", cache.display());
+        }
+        let estimator = Estimator::calibrate(platform, seed);
+        if let Err(e) = std::fs::write(&cache, estimator.area_model().to_text()) {
+            eprintln!("could not cache model at {}: {e}", cache.display());
+        }
+        estimator
+    }
+
+    /// Explore a benchmark's design space with the harness settings.
+    pub fn explore(&self, bench: &dyn Benchmark) -> DseResult {
+        explore(
+            |p| bench.build(p),
+            &bench.param_space(),
+            &self.estimator,
+            &self.dse,
+        )
+    }
+
+    /// Pick up to `n` spread-out Pareto points from a DSE result.
+    pub fn pareto_sample(&self, result: &DseResult, n: usize) -> Vec<ParamValues> {
+        spread(&result.pareto, n)
+            .into_iter()
+            .map(|i| result.points[i].params.clone())
+            .collect()
+    }
+
+    /// Simulate a built design on the benchmark's inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if simulation fails (benchmark designs are validated).
+    pub fn simulate(&self, bench: &dyn Benchmark, design: &Design) -> SimResult {
+        let mut bindings = Bindings::new();
+        for (name, data) in bench.inputs() {
+            bindings = bindings.bind(&name, data);
+        }
+        simulate(design, &self.platform, &bindings)
+            .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", bench.name()))
+    }
+
+    /// Fully evaluate one design point: estimate, synthesize (area ground
+    /// truth) and simulate (runtime ground truth + outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design fails to build or simulate.
+    pub fn evaluate(&self, bench: &dyn Benchmark, params: &ParamValues) -> PointEval {
+        let design = bench
+            .build(params)
+            .unwrap_or_else(|e| panic!("{}: build failed: {e}", bench.name()));
+        let est = self.estimator.estimate(&design);
+        let synth = synthesize(&design, &self.platform.fpga);
+        let sim = self.simulate(bench, &design);
+        PointEval {
+            params: params.clone(),
+            est_area: est.area,
+            est_cycles: est.cycles,
+            synth,
+            sim_cycles: sim.cycles,
+        }
+    }
+}
+
+/// One fully evaluated design point: estimates vs. ground truth.
+#[derive(Debug, Clone)]
+pub struct PointEval {
+    /// The parameter assignment.
+    pub params: ParamValues,
+    /// Estimated area.
+    pub est_area: AreaReport,
+    /// Estimated cycles.
+    pub est_cycles: f64,
+    /// Synthesis-model ground-truth report.
+    pub synth: SynthReport,
+    /// Simulated ground-truth cycles.
+    pub sim_cycles: f64,
+}
+
+impl PointEval {
+    /// Relative error of a prediction against truth (0 when both are 0).
+    pub fn rel_err(pred: f64, truth: f64) -> f64 {
+        if truth.abs() < 1e-9 {
+            if pred.abs() < 1e-9 {
+                0.0
+            } else {
+                1.0
+            }
+        } else {
+            ((pred - truth) / truth).abs()
+        }
+    }
+
+    /// `(alm, dsp, bram, runtime)` relative errors for this point.
+    pub fn errors(&self) -> (f64, f64, f64, f64) {
+        let truth = self.synth.area_report();
+        (
+            Self::rel_err(self.est_area.alms, truth.alms),
+            Self::rel_err(self.est_area.dsps, truth.dsps),
+            Self::rel_err(self.est_area.brams, truth.brams),
+            Self::rel_err(self.est_cycles, self.sim_cycles),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhdl_apps::DotProduct;
+
+    #[test]
+    fn rel_err_handles_zero_truth() {
+        assert_eq!(PointEval::rel_err(0.0, 0.0), 0.0);
+        assert_eq!(PointEval::rel_err(5.0, 0.0), 1.0);
+        assert!((PointEval::rel_err(110.0, 100.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harness_end_to_end_on_small_benchmark() {
+        let h = Harness::new(3, 40);
+        let bench = DotProduct::new(1_920);
+        let result = h.explore(&bench);
+        assert!(!result.pareto.is_empty());
+        let picks = h.pareto_sample(&result, 2);
+        assert!(!picks.is_empty());
+        let eval = h.evaluate(&bench, &picks[0]);
+        let (alm, _dsp, _bram, rt) = eval.errors();
+        // Errors are finite and not absurd.
+        assert!(alm < 1.0, "alm err {alm}");
+        assert!(rt < 1.0, "runtime err {rt}");
+    }
+}

@@ -1,0 +1,25 @@
+//! # dhdl-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§V):
+//!
+//! * `table2` — the benchmark suite and dataset sizes;
+//! * `table3` — average absolute estimation error for ALMs, DSPs, BRAMs
+//!   and runtime, over Pareto points per benchmark;
+//! * `table4` — estimation speed per design point vs. the mock commercial
+//!   HLS tool (restricted and full design spaces);
+//! * `fig5`  — design-space scatter data (ALM/DSP/BRAM utilization vs.
+//!   log-cycles) with Pareto fronts and boundedness analysis;
+//! * `fig6`  — speedups of the best generated designs over the modeled
+//!   6-core Xeon CPU baseline;
+//! * `ablations` — MetaPipe-off, raw-analytical-estimator and
+//!   pruning-off studies.
+//!
+//! Each binary prints the paper's corresponding numbers next to the
+//! reproduced ones and writes CSV into `results/`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{Harness, PointEval};

@@ -1,0 +1,95 @@
+//! Automatic banking of on-chip memories.
+//!
+//! The banking factor for a BRAM node is calculated automatically using the
+//! vector widths and access patterns of all the `Ld` and `St` nodes accessing
+//! it, such that the required memory bandwidth can be met (§III-B2). This
+//! eliminates banks as an independent design-space variable (§IV-C).
+
+use crate::analysis::traversal::accessors;
+use crate::design::Design;
+use crate::node::{Interleaving, NodeKind};
+
+/// Infer and set the banking factor and interleaving scheme of every BRAM
+/// in the design.
+///
+/// Each BRAM's banking factor is the maximum access parallelism over all of
+/// its accessors: `Pipe` accessors contribute their parallelization factor,
+/// and tile transfers contribute their port parallelization factor. The
+/// interleaving scheme is cyclic when parallel `Pipe` lanes touch the
+/// memory (unit-stride vector access) and blocked when only tile transfers
+/// do (streaming bursts).
+pub fn infer(design: &mut Design) {
+    let acc = accessors(design);
+    let brams = design.find_all(|n| matches!(n.kind, NodeKind::Bram(_)));
+    for bram in brams {
+        let accs = acc.get(&bram);
+        let banks = accs
+            .map(|v| v.iter().map(|&(_, p)| p).max().unwrap_or(1))
+            .unwrap_or(1)
+            .max(1);
+        let pipe_parallel = accs.is_some_and(|v| {
+            v.iter()
+                .any(|&(c, p)| p > 1 && matches!(design.kind(c), NodeKind::Pipe(_)))
+        });
+        let interleave = if pipe_parallel {
+            Interleaving::Cyclic
+        } else {
+            Interleaving::Blocked
+        };
+        if let NodeKind::Bram(spec) = &mut design.node_mut(bram).kind {
+            spec.banks = banks;
+            spec.interleave = interleave;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::DesignBuilder;
+    use crate::node::{by, NodeKind, ReduceOp};
+    use crate::types::DType;
+
+    #[test]
+    fn banks_match_max_parallelism() {
+        let mut b = DesignBuilder::new("t");
+        let x = b.off_chip("x", DType::F32, &[64]);
+        b.sequential(|b| {
+            let acc = b.reg("acc", DType::F32, 0.0);
+            let t = b.bram("t", DType::F32, &[64]);
+            let z = b.index_const(0);
+            b.tile_load(x, t, &[z], &[64], 4);
+            b.pipe_reduce(&[by(64, 1)], 8, acc, ReduceOp::Add, |b, it| {
+                b.load(t, &[it[0]])
+            });
+        });
+        let d = b.finish().unwrap();
+        let bram = d.find_all(|n| matches!(n.kind, NodeKind::Bram(_)))[0];
+        match d.kind(bram) {
+            NodeKind::Bram(s) => {
+                assert_eq!(s.banks, 8);
+                // Parallel pipe lanes demand cyclic interleaving.
+                assert_eq!(s.interleave, crate::node::Interleaving::Cyclic);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn unaccessed_bram_has_one_bank() {
+        let mut b = DesignBuilder::new("t");
+        b.sequential(|b| {
+            let _unused = b.bram("u", DType::F32, &[16]);
+            let m = b.bram("m", DType::F32, &[16]);
+            b.pipe(&[by(16, 1)], 1, |b, it| {
+                let c = b.constant(0.0, DType::F32);
+                b.store(m, &[it[0]], c);
+            });
+        });
+        let d = b.finish().unwrap();
+        for bram in d.find_all(|n| matches!(n.kind, NodeKind::Bram(_))) {
+            if let NodeKind::Bram(s) = d.kind(bram) {
+                assert_eq!(s.banks, 1);
+            }
+        }
+    }
+}

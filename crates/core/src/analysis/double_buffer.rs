@@ -1,0 +1,134 @@
+//! Double-buffering inference for MetaPipe inter-stage communication.
+//!
+//! "Communication buffers used in between stages are converted to double
+//! buffers" (§III-B3). The MetaPipe toggle parameters thereby also control
+//! whether the buffers internal to a controller are double-buffered
+//! (§III-C): the same program built with `toggle = false` produces
+//! `Sequential` controllers whose buffers stay single-buffered.
+
+use crate::analysis::traversal::mem_accesses;
+use crate::design::Design;
+use crate::node::{NodeId, NodeKind};
+
+/// Infer and set the `double_buf` flag on memories that communicate between
+/// MetaPipe stages (including fold sources and accumulators).
+pub fn infer(design: &mut Design) {
+    let mut to_mark: Vec<NodeId> = Vec::new();
+    for ctrl in design.controllers() {
+        let NodeKind::MetaPipe(spec) = design.kind(ctrl) else {
+            continue;
+        };
+        // Per-stage access sets, in stage order.
+        let stage_accesses: Vec<_> = spec
+            .stages
+            .iter()
+            .map(|&s| mem_accesses(design, s))
+            .collect();
+        for &mem in &spec.locals {
+            let writers: Vec<usize> = stage_accesses
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, w))| w.contains(&mem))
+                .map(|(i, _)| i)
+                .collect();
+            let readers: Vec<usize> = stage_accesses
+                .iter()
+                .enumerate()
+                .filter(|(_, (r, _))| r.contains(&mem))
+                .map(|(i, _)| i)
+                .collect();
+            // A buffer written in one stage and read in a later stage holds
+            // live data across the stage boundary of a pipelined controller,
+            // so it must be double-buffered.
+            let crosses = writers
+                .iter()
+                .any(|&w| readers.iter().any(|&r| r > w));
+            if crosses {
+                to_mark.push(mem);
+            }
+        }
+        // The fold source buffer is produced by the body while the previous
+        // iteration's value is still being accumulated.
+        if let Some(f) = &spec.fold {
+            to_mark.push(f.src);
+            to_mark.push(f.accum);
+        }
+    }
+    for mem in to_mark {
+        match &mut design.node_mut(mem).kind {
+            NodeKind::Bram(s) => s.double_buf = true,
+            NodeKind::Reg(s) => s.double_buf = true,
+            NodeKind::PriorityQueue(s) => s.double_buf = true,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::DesignBuilder;
+    use crate::design::Design;
+    use crate::node::{by, NodeKind, ReduceOp};
+    use crate::types::DType;
+
+    fn build(toggle: bool) -> Design {
+        let mut b = DesignBuilder::new("t");
+        let x = b.off_chip("x", DType::F32, &[64]);
+        let y = b.off_chip("y", DType::F32, &[64]);
+        b.sequential(|b| {
+            b.outer(toggle, &[by(64, 16)], 1, |b, iters| {
+                let i = iters[0];
+                let t = b.bram("t", DType::F32, &[16]);
+                let o = b.bram("o", DType::F32, &[16]);
+                b.tile_load(x, t, &[i], &[16], 1); // stage 0 writes t
+                b.pipe(&[by(16, 1)], 1, |b, it| {
+                    let v = b.load(t, &[it[0]]); // stage 1 reads t
+                    let w = b.mul(v, v);
+                    b.store(o, &[it[0]], w); // stage 1 writes o
+                });
+                b.tile_store(y, o, &[i], &[16], 1); // stage 2 reads o
+            });
+        });
+        b.finish().unwrap()
+    }
+
+    fn double_buffered(d: &Design) -> Vec<bool> {
+        d.find_all(|n| matches!(n.kind, NodeKind::Bram(_)))
+            .iter()
+            .map(|&id| match d.kind(id) {
+                NodeKind::Bram(s) => s.double_buf,
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn metapipe_buffers_are_double() {
+        let d = build(true);
+        assert!(double_buffered(&d).iter().all(|&x| x));
+    }
+
+    #[test]
+    fn sequential_buffers_stay_single() {
+        let d = build(false);
+        assert!(double_buffered(&d).iter().all(|&x| !x));
+    }
+
+    #[test]
+    fn fold_buffers_are_double() {
+        let mut b = DesignBuilder::new("t");
+        b.sequential(|b| {
+            let acc = b.bram("acc", DType::F32, &[4]);
+            b.outer_fold(true, &[by(8, 1)], 1, acc, ReduceOp::Add, |b, _| {
+                let t = b.bram("t", DType::F32, &[4]);
+                b.pipe(&[by(4, 1)], 1, |b, it| {
+                    let c = b.constant(1.0, DType::F32);
+                    b.store(t, &[it[0]], c);
+                });
+                t
+            });
+        });
+        let d = b.finish().unwrap();
+        assert!(double_buffered(&d).iter().all(|&x| x));
+    }
+}

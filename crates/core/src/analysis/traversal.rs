@@ -1,0 +1,198 @@
+//! Memory access-set and hierarchy queries shared by the other analyses,
+//! the estimators and the simulator.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::design::Design;
+use crate::node::{NodeId, NodeKind};
+
+/// The set of on-chip memories read (transitively) by a controller subtree.
+pub fn mem_reads(design: &Design, ctrl: NodeId) -> BTreeSet<NodeId> {
+    let mut out = BTreeSet::new();
+    collect(design, ctrl, &mut out, &mut BTreeSet::new());
+    out
+}
+
+/// The set of on-chip memories written (transitively) by a controller
+/// subtree.
+pub fn mem_writes(design: &Design, ctrl: NodeId) -> BTreeSet<NodeId> {
+    let mut out = BTreeSet::new();
+    collect(design, ctrl, &mut BTreeSet::new(), &mut out);
+    out
+}
+
+/// Both access sets in one traversal: `(reads, writes)`.
+pub fn mem_accesses(design: &Design, ctrl: NodeId) -> (BTreeSet<NodeId>, BTreeSet<NodeId>) {
+    let mut reads = BTreeSet::new();
+    let mut writes = BTreeSet::new();
+    collect(design, ctrl, &mut reads, &mut writes);
+    (reads, writes)
+}
+
+fn collect(
+    design: &Design,
+    ctrl: NodeId,
+    reads: &mut BTreeSet<NodeId>,
+    writes: &mut BTreeSet<NodeId>,
+) {
+    match design.kind(ctrl) {
+        NodeKind::Pipe(p) => {
+            for &n in &p.body {
+                match design.kind(n) {
+                    NodeKind::Load { mem, .. } => {
+                        reads.insert(*mem);
+                    }
+                    NodeKind::Store { mem, .. } => {
+                        writes.insert(*mem);
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(r) = &p.reduce {
+                writes.insert(r.reg);
+                reads.insert(r.reg);
+            }
+        }
+        NodeKind::MetaPipe(s) | NodeKind::Sequential(s) => {
+            for &st in &s.stages {
+                collect(design, st, reads, writes);
+            }
+            if let Some(f) = &s.fold {
+                reads.insert(f.src);
+                reads.insert(f.accum);
+                writes.insert(f.accum);
+            }
+        }
+        NodeKind::ParallelCtrl { stages, .. } => {
+            for &st in stages {
+                collect(design, st, reads, writes);
+            }
+        }
+        NodeKind::TileLoad(t) => {
+            writes.insert(t.local);
+        }
+        NodeKind::TileStore(t) => {
+            reads.insert(t.local);
+        }
+        _ => {}
+    }
+}
+
+/// Map from each controller to its parent controller (the top maps to
+/// itself).
+pub fn parent_map(design: &Design) -> BTreeMap<NodeId, NodeId> {
+    let mut map = BTreeMap::new();
+    map.insert(design.top(), design.top());
+    design.walk_controllers(design.top(), &mut |_, id| {
+        for &s in design.stages(id) {
+            map.insert(s, id);
+        }
+    });
+    map
+}
+
+/// Whether controller `anc` is `node` or one of its ancestors, given a
+/// parent map from [`parent_map`].
+pub fn is_ancestor(parents: &BTreeMap<NodeId, NodeId>, anc: NodeId, mut node: NodeId) -> bool {
+    loop {
+        if node == anc {
+            return true;
+        }
+        match parents.get(&node) {
+            Some(&p) if p != node => node = p,
+            _ => return false,
+        }
+    }
+}
+
+/// All `Pipe`/`TileLd`/`TileSt` accessors of each on-chip memory, with
+/// their parallelization factors. Used by banking and by the off-chip
+/// contention model.
+pub fn accessors(design: &Design) -> BTreeMap<NodeId, Vec<(NodeId, u32)>> {
+    let mut out: BTreeMap<NodeId, Vec<(NodeId, u32)>> = BTreeMap::new();
+    for ctrl in design.controllers() {
+        match design.kind(ctrl) {
+            NodeKind::Pipe(p) => {
+                let (reads, writes) = mem_accesses(design, ctrl);
+                for m in reads.union(&writes) {
+                    out.entry(*m).or_default().push((ctrl, p.par));
+                }
+            }
+            NodeKind::TileLoad(t) | NodeKind::TileStore(t) => {
+                out.entry(t.local).or_default().push((ctrl, t.par));
+            }
+            NodeKind::MetaPipe(s) | NodeKind::Sequential(s) => {
+                if let Some(f) = &s.fold {
+                    out.entry(f.src).or_default().push((ctrl, s.par));
+                    out.entry(f.accum).or_default().push((ctrl, s.par));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DesignBuilder;
+    use crate::node::{by, ReduceOp};
+    use crate::types::DType;
+
+    fn sample() -> Design {
+        let mut b = DesignBuilder::new("t");
+        let x = b.off_chip("x", DType::F32, &[64]);
+        b.sequential(|b| {
+            let acc = b.reg("acc", DType::F32, 0.0);
+            b.meta_pipe(&[by(64, 16)], 1, |b, iters| {
+                let i = iters[0];
+                let t = b.bram("t", DType::F32, &[16]);
+                b.tile_load(x, t, &[i], &[16], 2);
+                b.pipe_reduce(&[by(16, 1)], 4, acc, ReduceOp::Add, |b, it| {
+                    b.load(t, &[it[0]])
+                });
+            });
+        });
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn read_write_sets() {
+        let d = sample();
+        let top = d.top();
+        let reads = mem_reads(&d, top);
+        let writes = mem_writes(&d, top);
+        // The tile BRAM is read by the pipe and written by the TileLd.
+        let brams = d.find_all(|n| matches!(n.kind, NodeKind::Bram(_)));
+        assert_eq!(brams.len(), 1);
+        assert!(reads.contains(&brams[0]));
+        assert!(writes.contains(&brams[0]));
+        // The accumulator register is written (and read) by the reduce pipe.
+        let regs = d.find_all(|n| matches!(n.kind, NodeKind::Reg(_)));
+        assert!(writes.contains(&regs[0]));
+    }
+
+    #[test]
+    fn accessor_pars() {
+        let d = sample();
+        let brams = d.find_all(|n| matches!(n.kind, NodeKind::Bram(_)));
+        let acc = accessors(&d);
+        let pars: Vec<u32> = acc[&brams[0]].iter().map(|&(_, p)| p).collect();
+        assert!(pars.contains(&2)); // TileLd par
+        assert!(pars.contains(&4)); // Pipe par
+    }
+
+    #[test]
+    fn parent_and_ancestor() {
+        let d = sample();
+        let parents = parent_map(&d);
+        let ctrls = d.controllers();
+        // top is its own parent; every other controller reaches top.
+        for c in &ctrls {
+            assert!(is_ancestor(&parents, d.top(), *c));
+        }
+        let pipe = *ctrls.last().unwrap();
+        assert!(!is_ancestor(&parents, pipe, d.top()));
+    }
+}

@@ -1,0 +1,63 @@
+//! Error types for DHDL design construction and analysis.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use crate::node::NodeId;
+
+/// Error produced while building, validating, or analyzing a DHDL design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DhdlError {
+    /// A builder operation was used in a scope where it is not allowed
+    /// (for example, creating a controller inside a `Pipe` body).
+    ScopeViolation(String),
+    /// A node reference was used in a context it does not fit
+    /// (for example, storing to a node that is not a memory).
+    InvalidReference {
+        /// The offending node.
+        node: NodeId,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// Structural validation of a finished design failed.
+    Validation(String),
+    /// A required design parameter was missing or out of range.
+    Parameter(String),
+    /// Mismatched or unsupported data types.
+    Type(String),
+}
+
+impl fmt::Display for DhdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DhdlError::ScopeViolation(msg) => write!(f, "scope violation: {msg}"),
+            DhdlError::InvalidReference { node, reason } => {
+                write!(f, "invalid reference to node {node}: {reason}")
+            }
+            DhdlError::Validation(msg) => write!(f, "validation failed: {msg}"),
+            DhdlError::Parameter(msg) => write!(f, "invalid parameter: {msg}"),
+            DhdlError::Type(msg) => write!(f, "type error: {msg}"),
+        }
+    }
+}
+
+impl StdError for DhdlError {}
+
+/// Convenience result alias used throughout the DHDL crates.
+pub type Result<T> = std::result::Result<T, DhdlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let e = DhdlError::Validation("empty stage list".into());
+        assert!(e.to_string().contains("empty stage list"));
+        let e = DhdlError::InvalidReference {
+            node: NodeId::from_raw(3),
+            reason: "not a memory".into(),
+        };
+        assert!(e.to_string().contains("node %3"));
+    }
+}

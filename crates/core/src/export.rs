@@ -1,0 +1,183 @@
+//! Graphviz (DOT) export of designs.
+//!
+//! Renders the controller hierarchy as nested clusters with memories and
+//! dataflow edges — the visual form of the paper's Figure 3 — for
+//! inspection with `dot -Tsvg`.
+
+use std::fmt::Write as _;
+
+use crate::design::Design;
+use crate::node::{NodeId, NodeKind};
+
+/// Render the design as a Graphviz `digraph`.
+///
+/// Controllers become nested clusters; memories are cylinders; primitive
+/// dataflow inside `Pipe` bodies is drawn with solid edges and memory
+/// accesses with dashed edges.
+pub fn to_dot(design: &Design) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", design.name());
+    let _ = writeln!(out, "  rankdir=TB; compound=true;");
+    let _ = writeln!(out, "  node [fontsize=10, fontname=\"monospace\"];");
+    for &off in design.offchips() {
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\", shape=box3d];",
+            off.index(),
+            label(design, off)
+        );
+    }
+    emit_ctrl(design, design.top(), &mut out, 1);
+    // Dataflow edges for every pipe body.
+    for (id, node) in design.iter() {
+        if let NodeKind::Pipe(p) = &node.kind {
+            for &n in &p.body {
+                for inp in design.prim_inputs(n) {
+                    if matches!(design.kind(inp), NodeKind::Const(_)) {
+                        continue;
+                    }
+                    let _ = writeln!(out, "  n{} -> n{};", inp.index(), n.index());
+                }
+                match design.kind(n) {
+                    NodeKind::Load { mem, .. } => {
+                        let _ = writeln!(
+                            out,
+                            "  n{} -> n{} [style=dashed];",
+                            mem.index(),
+                            n.index()
+                        );
+                    }
+                    NodeKind::Store { mem, .. } => {
+                        let _ = writeln!(
+                            out,
+                            "  n{} -> n{} [style=dashed];",
+                            n.index(),
+                            mem.index()
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            let _ = id;
+        }
+    }
+    // Tile transfer edges.
+    for (id, node) in design.iter() {
+        if let NodeKind::TileLoad(t) = &node.kind {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [style=bold, label=\"tile\"];",
+                t.offchip.index(),
+                t.local.index()
+            );
+            let _ = id;
+        } else if let NodeKind::TileStore(t) = &node.kind {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [style=bold, label=\"tile\"];",
+                t.local.index(),
+                t.offchip.index()
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn label(design: &Design, id: NodeId) -> String {
+    let node = design.node(id);
+    match node.name.as_deref() {
+        Some(n) => format!("{} {}", node.kind.template_name(), n),
+        None => format!("{} {}", node.kind.template_name(), id),
+    }
+}
+
+fn emit_ctrl(design: &Design, ctrl: NodeId, out: &mut String, depth: usize) {
+    let pad = "  ".repeat(depth);
+    let _ = writeln!(out, "{pad}subgraph cluster_{} {{", ctrl.index());
+    let _ = writeln!(out, "{pad}  label=\"{}\";", label(design, ctrl));
+    // Anchor node so edges can target the cluster.
+    let _ = writeln!(out, "{pad}  n{} [label=\"ctl\", shape=point];", ctrl.index());
+    for &m in design.locals(ctrl) {
+        let _ = writeln!(
+            out,
+            "{pad}  n{} [label=\"{}\", shape=cylinder];",
+            m.index(),
+            label(design, m)
+        );
+    }
+    match design.kind(ctrl) {
+        NodeKind::Pipe(p) => {
+            for &n in &p.body {
+                let _ = writeln!(
+                    out,
+                    "{pad}  n{} [label=\"{}\", shape=ellipse];",
+                    n.index(),
+                    body_label(design, n)
+                );
+            }
+        }
+        _ => {
+            for &s in design.stages(ctrl) {
+                emit_ctrl(design, s, out, depth + 1);
+            }
+        }
+    }
+    let _ = writeln!(out, "{pad}}}");
+}
+
+fn body_label(design: &Design, n: NodeId) -> String {
+    match design.kind(n) {
+        NodeKind::Prim { op, .. } => op.to_string(),
+        NodeKind::Mux { .. } => "mux".to_string(),
+        NodeKind::Load { .. } => "ld".to_string(),
+        NodeKind::Store { .. } => "st".to_string(),
+        other => other.template_name().to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DesignBuilder;
+    use crate::node::by;
+    use crate::types::DType;
+
+    fn sample() -> Design {
+        let mut b = DesignBuilder::new("viz");
+        let x = b.off_chip("x", DType::F32, &[64]);
+        b.sequential(|b| {
+            let t = b.bram("t", DType::F32, &[16]);
+            b.meta_pipe(&[by(64, 16)], 1, |b, iters| {
+                b.tile_load(x, t, &[iters[0]], &[16], 1);
+                b.pipe(&[by(16, 1)], 1, |b, it| {
+                    let v = b.load(t, &[it[0]]);
+                    let w = b.mul(v, v);
+                    b.store(t, &[it[0]], w);
+                });
+            });
+        });
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn dot_is_structurally_sound() {
+        let dot = to_dot(&sample());
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        assert!(dot.contains("subgraph cluster_"));
+        assert!(dot.contains("shape=cylinder")); // the BRAM
+        assert!(dot.contains("shape=box3d")); // the OffChipMem
+        assert!(dot.contains("style=dashed")); // memory access edges
+        assert!(dot.contains("label=\"tile\"")); // the TileLd edge
+    }
+
+    #[test]
+    fn dot_names_every_controller() {
+        let d = sample();
+        let dot = to_dot(&d);
+        for c in d.controllers() {
+            assert!(dot.contains(&format!("cluster_{}", c.index())));
+        }
+    }
+}

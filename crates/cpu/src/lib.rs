@@ -1,0 +1,29 @@
+//! # dhdl-cpu — CPU baselines for the Figure 6 comparison
+//!
+//! Two complementary pieces:
+//!
+//! * [`kernels`] — optimized multi-threaded Rust implementations of every
+//!   benchmark (the OptiML/OpenBLAS stand-ins of §V-D), used to validate
+//!   functional outputs and to measure real host kernel times;
+//! * [`XeonModel`] — a roofline-style performance model of the paper's
+//!   6-core Xeon E5-2630 platform, converting each benchmark's
+//!   [`dhdl_apps::WorkProfile`] into platform-comparable CPU time so the
+//!   Figure 6 speedups are reproducible on any host.
+//!
+//! ```
+//! use dhdl_apps::{Benchmark, DotProduct};
+//! use dhdl_cpu::XeonModel;
+//!
+//! let bench = DotProduct::new(96_000);
+//! let model = XeonModel::default();
+//! let seconds = model.seconds(&bench.work());
+//! assert!(seconds > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod kernels;
+mod model;
+
+pub use kernels::{run, CpuRun};
+pub use model::XeonModel;

@@ -1,0 +1,36 @@
+//! # dhdl-dse — design space exploration
+//!
+//! The exploration phase of the framework (§IV-C): given a benchmark
+//! metaprogram and its declared [`dhdl_core::ParamSpace`], enumerate or
+//! sample the *legal* subspace (divisor-pruned tile sizes and
+//! parallelization factors, automatic banking, per-memory size caps),
+//! estimate every point with the fast estimators, and extract the
+//! Pareto-optimal surface over execution time and ALM usage — the data
+//! behind Figure 5.
+//!
+//! ```no_run
+//! use dhdl_dse::{explore, DseOptions};
+//! use dhdl_estimate::Estimator;
+//! use dhdl_target::Platform;
+//!
+//! let estimator = Estimator::calibrate(&Platform::maia(), 1);
+//! # let (build, space): (fn(&dhdl_core::ParamValues) -> dhdl_core::Result<dhdl_core::Design>, dhdl_core::ParamSpace) = unimplemented!();
+//! let result = explore(build, &space, &estimator, &DseOptions::default());
+//! println!(
+//!     "space {} points, best {} cycles",
+//!     result.space_size,
+//!     result.best().unwrap().cycles
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+mod objectives;
+mod pareto;
+mod search;
+mod space;
+
+pub use objectives::{frontier_along, perf_per_area, rank_by_perf_per_area, ResourceAxis};
+pub use pareto::{pareto_front, spread};
+pub use search::{explore, refine, DesignPoint, DseOptions, DseResult};
+pub use space::LegalSpace;

@@ -1,0 +1,327 @@
+//! The design space walker: evaluate sampled legal points with the fast
+//! estimators and extract the Pareto-optimal surface (§IV-C, Figure 5).
+
+use dhdl_core::{Design, ParamSpace, ParamValues};
+use dhdl_estimate::Estimator;
+use dhdl_target::AreaReport;
+
+use crate::pareto::pareto_front;
+use crate::space::LegalSpace;
+
+/// Options controlling a design-space exploration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseOptions {
+    /// Maximum number of legal points to evaluate (the paper samples up to
+    /// 75 000).
+    pub max_points: usize,
+    /// RNG seed for sampling.
+    pub seed: u64,
+    /// Maximum size of any single on-chip memory in bits ("the total size
+    /// of each local memory is limited to a fixed maximum value").
+    pub mem_cap_bits: u64,
+}
+
+impl Default for DseOptions {
+    fn default() -> Self {
+        DseOptions {
+            max_points: 75_000,
+            seed: 0xD5E,
+            mem_cap_bits: 8 * 1024 * 1024, // 8 Mbit per logical buffer
+        }
+    }
+}
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// The parameter assignment.
+    pub params: ParamValues,
+    /// Estimated execution cycles.
+    pub cycles: f64,
+    /// Estimated area.
+    pub area: AreaReport,
+    /// Whether the design fits on the target device.
+    pub valid: bool,
+}
+
+/// The outcome of a design-space exploration.
+#[derive(Debug, Clone)]
+pub struct DseResult {
+    /// Evaluated points (legal points only; designs violating the memory
+    /// cap or failing to build are discarded before estimation).
+    pub points: Vec<DesignPoint>,
+    /// Indices into `points` of the Pareto frontier (cycles vs. ALMs).
+    pub pareto: Vec<usize>,
+    /// Total size of the legal space before sampling.
+    pub space_size: u128,
+    /// Number of sampled points discarded before estimation.
+    pub discarded: usize,
+}
+
+impl DseResult {
+    /// The fastest valid design point, if any.
+    pub fn best(&self) -> Option<&DesignPoint> {
+        self.pareto.first().map(|&i| &self.points[i])
+    }
+
+    /// Pareto points, fastest first.
+    pub fn pareto_points(&self) -> impl Iterator<Item = &DesignPoint> {
+        self.pareto.iter().map(|&i| &self.points[i])
+    }
+}
+
+/// Explore a benchmark's design space.
+///
+/// `build` instantiates the benchmark metaprogram for a parameter
+/// assignment; points whose designs fail to build or exceed the local
+/// memory cap are discarded immediately (§IV-C), and points whose
+/// estimated area exceeds the device are kept but flagged invalid (the
+/// gray points of Figure 5).
+pub fn explore<F>(
+    build: F,
+    space: &ParamSpace,
+    estimator: &Estimator,
+    opts: &DseOptions,
+) -> DseResult
+where
+    F: Fn(&ParamValues) -> dhdl_core::Result<Design>,
+{
+    let legal = LegalSpace::new(space);
+    let samples = legal.sample(opts.max_points, opts.seed);
+    let target = &estimator.platform().fpga;
+    let mut points = Vec::with_capacity(samples.len());
+    let mut discarded = 0usize;
+    for params in samples {
+        let Ok(design) = build(&params) else {
+            discarded += 1;
+            continue;
+        };
+        if exceeds_mem_cap(&design, opts.mem_cap_bits) {
+            discarded += 1;
+            continue;
+        }
+        let est = estimator.estimate(&design);
+        let valid = est.area.fits(target);
+        points.push(DesignPoint {
+            params,
+            cycles: est.cycles,
+            area: est.area,
+            valid,
+        });
+    }
+    let tuples: Vec<(f64, f64, bool)> = points
+        .iter()
+        .map(|p| (p.cycles, p.area.alms, p.valid))
+        .collect();
+    let pareto = pareto_front(&tuples);
+    DseResult {
+        points,
+        pareto,
+        space_size: legal.size(),
+        discarded,
+    }
+}
+
+/// Refine a DSE result with local search: for every Pareto point, evaluate
+/// all single-parameter neighbors (adjacent legal values), keep anything
+/// new, and repeat for `rounds` rounds or until no Pareto improvement —
+/// the "walk the space of designs" step layered on random sampling.
+pub fn refine<F>(
+    build: F,
+    space: &ParamSpace,
+    estimator: &Estimator,
+    opts: &DseOptions,
+    result: &DseResult,
+    rounds: usize,
+) -> DseResult
+where
+    F: Fn(&ParamValues) -> dhdl_core::Result<Design>,
+{
+    let target = &estimator.platform().fpga;
+    let mut points = result.points.clone();
+    let mut seen: std::collections::BTreeSet<String> =
+        points.iter().map(|p| p.params.to_string()).collect();
+    let mut pareto = result.pareto.clone();
+    let mut discarded = result.discarded;
+    for _ in 0..rounds {
+        let frontier: Vec<ParamValues> =
+            pareto.iter().map(|&i| points[i].params.clone()).collect();
+        let mut any_new = false;
+        for params in frontier {
+            for def in space.defs() {
+                let legal = def.kind.legal_values();
+                let Some(cur) = params.get(&def.name) else {
+                    continue;
+                };
+                let Some(pos) = legal.iter().position(|&v| v == cur) else {
+                    continue;
+                };
+                for neighbor in [pos.checked_sub(1), pos.checked_add(1)] {
+                    let Some(np) = neighbor.and_then(|i| legal.get(i)) else {
+                        continue;
+                    };
+                    let mut candidate = params.clone();
+                    candidate.set(&def.name, *np);
+                    if !seen.insert(candidate.to_string()) {
+                        continue;
+                    }
+                    let Ok(design) = build(&candidate) else {
+                        discarded += 1;
+                        continue;
+                    };
+                    if exceeds_mem_cap(&design, opts.mem_cap_bits) {
+                        discarded += 1;
+                        continue;
+                    }
+                    let est = estimator.estimate(&design);
+                    points.push(DesignPoint {
+                        params: candidate,
+                        cycles: est.cycles,
+                        area: est.area,
+                        valid: est.area.fits(target),
+                    });
+                    any_new = true;
+                }
+            }
+        }
+        let tuples: Vec<(f64, f64, bool)> = points
+            .iter()
+            .map(|p| (p.cycles, p.area.alms, p.valid))
+            .collect();
+        let new_pareto = pareto_front(&tuples);
+        let improved = new_pareto != pareto;
+        pareto = new_pareto;
+        if !any_new || !improved {
+            break;
+        }
+    }
+    DseResult {
+        points,
+        pareto,
+        space_size: result.space_size,
+        discarded,
+    }
+}
+
+fn exceeds_mem_cap(design: &Design, cap_bits: u64) -> bool {
+    design.iter().any(|(_, n)| match &n.kind {
+        dhdl_core::NodeKind::Bram(b) => b.elements() * u64::from(n.ty.bits()) > cap_bits,
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhdl_core::{by, DType, DesignBuilder, ReduceOp};
+    use dhdl_target::Platform;
+
+    fn build_dot(p: &ParamValues) -> dhdl_core::Result<Design> {
+        let n = 4096u64;
+        let tile = p.dim("tile")?;
+        let par = p.par("par")?;
+        let toggle = p.toggle("mp")?;
+        let mut b = DesignBuilder::new("dot");
+        let x = b.off_chip("x", DType::F32, &[n]);
+        let y = b.off_chip("y", DType::F32, &[n]);
+        b.sequential(|b| {
+            let acc = b.reg("acc", DType::F32, 0.0);
+            b.outer(toggle, &[by(n, tile)], 1, |b, iters| {
+                let i = iters[0];
+                let xt = b.bram("xT", DType::F32, &[tile]);
+                let yt = b.bram("yT", DType::F32, &[tile]);
+                b.parallel(|b| {
+                    b.tile_load(x, xt, &[i], &[tile], par);
+                    b.tile_load(y, yt, &[i], &[tile], par);
+                });
+                b.pipe_reduce(&[by(tile, 1)], par, acc, ReduceOp::Add, |b, it| {
+                    let a = b.load(xt, &[it[0]]);
+                    let c = b.load(yt, &[it[0]]);
+                    b.mul(a, c)
+                });
+            });
+        });
+        b.finish()
+    }
+
+    fn space() -> ParamSpace {
+        let mut s = ParamSpace::new();
+        s.tile("tile", 4096, 16, 1024);
+        s.par("par", 16, 16);
+        s.toggle("mp");
+        s
+    }
+
+    fn estimator() -> Estimator {
+        Estimator::calibrate_with(&Platform::maia(), 30, 11).0
+    }
+
+    #[test]
+    fn exploration_finds_pareto_points() {
+        let est = estimator();
+        let opts = DseOptions {
+            max_points: 60,
+            ..DseOptions::default()
+        };
+        let r = explore(build_dot, &space(), &est, &opts);
+        assert!(!r.points.is_empty());
+        assert!(!r.pareto.is_empty());
+        let best = r.best().unwrap();
+        assert!(best.valid);
+        // Pareto points are sorted fastest-first and areas decrease.
+        let pp: Vec<_> = r.pareto_points().collect();
+        for w in pp.windows(2) {
+            assert!(w[0].cycles <= w[1].cycles);
+            assert!(w[0].area.alms >= w[1].area.alms);
+        }
+    }
+
+    #[test]
+    fn mem_cap_discards_points() {
+        let est = estimator();
+        let opts = DseOptions {
+            max_points: 500,
+            mem_cap_bits: 16 * 32, // absurdly small: only tile<=16 passes
+            ..DseOptions::default()
+        };
+        let r = explore(build_dot, &space(), &est, &opts);
+        assert!(r.discarded > 0);
+        for p in &r.points {
+            assert!(p.params.dim("tile").unwrap() <= 16);
+        }
+    }
+
+    #[test]
+    fn refinement_never_worsens_the_front() {
+        let est = estimator();
+        let opts = DseOptions {
+            max_points: 30,
+            ..DseOptions::default()
+        };
+        let base = explore(build_dot, &space(), &est, &opts);
+        let refined = refine(build_dot, &space(), &est, &opts, &base, 3);
+        assert!(refined.points.len() >= base.points.len());
+        let best_before = base.best().unwrap().cycles;
+        let best_after = refined.best().unwrap().cycles;
+        assert!(best_after <= best_before, "{best_after} vs {best_before}");
+        // No duplicates introduced.
+        let mut names: Vec<String> =
+            refined.points.iter().map(|p| p.params.to_string()).collect();
+        let n = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn space_size_reported() {
+        let est = estimator();
+        let opts = DseOptions {
+            max_points: 10,
+            ..DseOptions::default()
+        };
+        let r = explore(build_dot, &space(), &est, &opts);
+        assert_eq!(r.space_size, LegalSpace::new(&space()).size());
+        assert!(r.points.len() <= 10);
+    }
+}

@@ -1,0 +1,401 @@
+//! Cycle-count estimation (§IV-B1).
+//!
+//! A recursive analysis pass over the hierarchical IR: the total runtime of
+//! `MetaPipe` and `Sequential` nodes is calculated from the runtimes of the
+//! controllers they contain; the propagation delay of one `Pipe` iteration
+//! is the critical path of its body (depth-first search over the subgraph);
+//! iteration counts come from the counter chains (dataset annotations plus
+//! tiling factors). Off-chip transfers use the DRAM model's command
+//! count/length cost with static contention from competing accessors.
+
+use std::collections::BTreeMap;
+
+use dhdl_core::analysis::traversal::parent_map;
+use dhdl_core::{Design, NodeId, NodeKind, Pattern, TileSpec};
+use dhdl_synth::chardata::{prim_cost, reduce_tree_latency};
+use dhdl_synth::pipe_depth;
+use dhdl_target::Platform;
+
+/// Fixed control overhead (in cycles) for starting/finishing one controller
+/// execution: enable/done handshake through the parent.
+const CTRL_OVERHEAD: f64 = 2.0;
+
+/// Estimate the total execution cycles of a design on a platform.
+pub fn estimate_cycles(design: &Design, platform: &Platform) -> f64 {
+    let ctx = Ctx {
+        design,
+        platform,
+        parents: parent_map(design),
+        reps: replication_map(design),
+    };
+    ctx.cycles(design.top())
+}
+
+/// One controller's estimated contribution to the design's runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyEntry {
+    /// The controller node.
+    pub ctrl: NodeId,
+    /// Template kind plus id, e.g. `"Pipe %12"`.
+    pub label: String,
+    /// Estimated cycles for one execution of the controller.
+    pub per_execution: f64,
+    /// Number of times the controller executes over the whole run
+    /// (product of ancestor trip counts, divided by their parallelization).
+    pub executions: f64,
+    /// `per_execution * executions` — comparable to the simulator's
+    /// profile (nested controllers overlap their parents).
+    pub total: f64,
+}
+
+/// Per-controller estimated cycle breakdown, heaviest first — the
+/// analytic counterpart of the simulator's execution profile, used for
+/// bottleneck attribution without running anything.
+pub fn estimate_breakdown(design: &Design, platform: &Platform) -> Vec<LatencyEntry> {
+    let ctx = Ctx {
+        design,
+        platform,
+        parents: parent_map(design),
+        reps: replication_map(design),
+    };
+    let mut entries = Vec::new();
+    // Executions of each controller: product of ancestor effective trip
+    // counts (total iterations / par).
+    fn walk(
+        ctx: &Ctx,
+        design: &Design,
+        ctrl: NodeId,
+        execs: f64,
+        entries: &mut Vec<LatencyEntry>,
+    ) {
+        let per = ctx.cycles(ctrl);
+        entries.push(LatencyEntry {
+            ctrl,
+            label: format!("{} {}", design.kind(ctrl).template_name(), ctrl),
+            per_execution: per,
+            executions: execs,
+            total: per * execs,
+        });
+        let child_execs = match design.kind(ctrl) {
+            NodeKind::MetaPipe(s) | NodeKind::Sequential(s) => {
+                execs * (s.ctr.total_iters() as f64 / f64::from(s.par.max(1))).ceil()
+            }
+            _ => execs,
+        };
+        for &st in design.stages(ctrl) {
+            walk(ctx, design, st, child_execs, entries);
+        }
+    }
+    walk(&ctx, design, design.top(), 1.0, &mut entries);
+    entries.sort_by(|a, b| b.total.total_cmp(&a.total));
+    entries
+}
+
+/// Product of ancestor parallelization factors for every controller: how
+/// many replicas of it exist in hardware.
+fn replication_map(design: &Design) -> BTreeMap<NodeId, f64> {
+    let mut reps = BTreeMap::new();
+    fn rec(design: &Design, id: NodeId, rep: f64, reps: &mut BTreeMap<NodeId, f64>) {
+        reps.insert(id, rep);
+        let child_rep = match design.kind(id) {
+            NodeKind::MetaPipe(s) | NodeKind::Sequential(s) => rep * f64::from(s.par),
+            _ => rep,
+        };
+        for &st in design.stages(id) {
+            rec(design, st, child_rep, reps);
+        }
+    }
+    rec(design, design.top(), 1.0, &mut reps);
+    reps
+}
+
+struct Ctx<'a> {
+    design: &'a Design,
+    platform: &'a Platform,
+    parents: BTreeMap<NodeId, NodeId>,
+    reps: BTreeMap<NodeId, f64>,
+}
+
+impl Ctx<'_> {
+    fn cycles(&self, ctrl: NodeId) -> f64 {
+        match self.design.kind(ctrl) {
+            NodeKind::Pipe(p) => {
+                let iters = (p.ctr.total_iters() as f64 / f64::from(p.par)).ceil();
+                let mut depth = pipe_depth(self.design, p) as f64;
+                if let (Some(r), Pattern::Reduce(op)) = (&p.reduce, p.pattern) {
+                    let ty = self.design.ty(r.reg);
+                    depth += reduce_tree_latency(op.prim(), ty, p.par) as f64;
+                    depth += prim_cost(op.prim(), ty).latency as f64;
+                }
+                // II = 1: one iteration enters the pipeline per cycle.
+                depth + iters.max(1.0) + CTRL_OVERHEAD
+            }
+            NodeKind::Sequential(s) => {
+                let iters = (s.ctr.total_iters() as f64 / f64::from(s.par)).ceil();
+                let mut body: f64 = s.stages.iter().map(|&st| self.cycles(st)).sum();
+                body += CTRL_OVERHEAD * s.stages.len() as f64;
+                body += self.fold_cycles(ctrl);
+                iters.max(1.0) * body + CTRL_OVERHEAD
+            }
+            NodeKind::MetaPipe(s) => {
+                // (N-1) * max(stage) + sum(stages)  (§IV-B).
+                let n = (s.ctr.total_iters() as f64 / f64::from(s.par)).ceil().max(1.0);
+                let mut stage_times: Vec<f64> = s
+                    .stages
+                    .iter()
+                    .map(|&st| self.cycles(st) + CTRL_OVERHEAD)
+                    .collect();
+                let fold = self.fold_cycles(ctrl);
+                if fold > 0.0 {
+                    stage_times.push(fold + CTRL_OVERHEAD);
+                }
+                let sum: f64 = stage_times.iter().sum();
+                let max = stage_times.iter().cloned().fold(0.0, f64::max);
+                (n - 1.0) * max + sum + CTRL_OVERHEAD
+            }
+            NodeKind::ParallelCtrl { stages, .. } => {
+                let max = stages
+                    .iter()
+                    .map(|&st| self.cycles(st))
+                    .fold(0.0, f64::max);
+                max + CTRL_OVERHEAD
+            }
+            NodeKind::TileLoad(t) | NodeKind::TileStore(t) => self.transfer_cycles(ctrl, t),
+            _ => 0.0,
+        }
+    }
+
+    /// Cycles of the implicit fold stage of an outer controller: one
+    /// element-wise combine per accumulator element.
+    fn fold_cycles(&self, ctrl: NodeId) -> f64 {
+        let (NodeKind::MetaPipe(s) | NodeKind::Sequential(s)) = self.design.kind(ctrl) else {
+            return 0.0;
+        };
+        let Some(f) = &s.fold else {
+            return 0.0;
+        };
+        let ty = self.design.ty(f.accum);
+        let (elements, lanes) = match self.design.kind(f.accum) {
+            NodeKind::Bram(b) => (b.elements() as f64, f64::from(b.banks.max(1))),
+            _ => (1.0, 1.0), // register fold
+        };
+        elements / lanes + prim_cost(f.op.prim(), ty).latency as f64
+    }
+
+    /// The channel-occupancy structure of a transfer: `(commands,
+    /// run_bytes)`. A command covers one contiguous run; if the innermost
+    /// tile extent covers the full innermost off-chip dimension,
+    /// consecutive rows are contiguous in DRAM and merge into one long
+    /// command.
+    fn transfer_shape(&self, t: &TileSpec) -> (u64, u64) {
+        let elem_bytes = u64::from(self.design.ty(t.offchip).bits()).div_ceil(8);
+        let NodeKind::OffChip { dims } = self.design.kind(t.offchip) else {
+            return (0, 0);
+        };
+        let inner = *t.tile.last().unwrap_or(&1);
+        let full_row = dims.last().is_some_and(|&d| d == inner);
+        let outer: u64 = t.tile[..t.tile.len().saturating_sub(1)].iter().product();
+        if full_row || t.tile.len() == 1 {
+            (1, inner * outer.max(1) * elem_bytes)
+        } else {
+            (outer.max(1), inner * elem_bytes)
+        }
+    }
+
+    /// Channel data/issue occupancy of one execution of a transfer,
+    /// excluding command latency, scaled by its hardware replication.
+    fn channel_cycles(&self, ctrl: NodeId, t: &TileSpec) -> f64 {
+        let (commands, run_bytes) = self.transfer_shape(t);
+        if commands == 0 {
+            return 0.0;
+        }
+        let dram = &self.platform.dram;
+        let data = dram.burst_cycles(run_bytes) * commands as f64;
+        let issue = (dram.command_issue_cycles * commands) as f64;
+        data.max(issue) * self.reps.get(&ctrl).copied().unwrap_or(1.0)
+    }
+
+    /// Analytic cycles of a tile transfer, including command structure and
+    /// contention from competing accessors (§IV-B1): the shared channel
+    /// also carries the traffic of every transfer that can be active at
+    /// the same time, so their occupancy adds to this one's.
+    fn transfer_cycles(&self, ctrl: NodeId, t: &TileSpec) -> f64 {
+        let own = self.channel_cycles(ctrl, t);
+        if own == 0.0 {
+            return 0.0;
+        }
+        let competing = self.contention_cycles(ctrl);
+        self.platform.dram.command_latency_cycles as f64 + own + competing
+    }
+
+    /// Static contention estimate: the channel occupancy of every transfer
+    /// that can overlap with `xfer` (any transfer whose least common
+    /// ancestor is a `MetaPipe` — stages overlap — or a `Parallel`
+    /// container).
+    fn contention_cycles(&self, xfer: NodeId) -> f64 {
+        let mut total = 0.0;
+        for ctrl in self.design.controllers() {
+            if ctrl == xfer {
+                continue;
+            }
+            let (NodeKind::TileLoad(t) | NodeKind::TileStore(t)) = self.design.kind(ctrl) else {
+                continue;
+            };
+            let lca = self.lca(xfer, ctrl);
+            if matches!(
+                self.design.kind(lca),
+                NodeKind::MetaPipe(_) | NodeKind::ParallelCtrl { .. }
+            ) {
+                total += self.channel_cycles(ctrl, t);
+            }
+        }
+        total
+    }
+
+    fn ancestors(&self, mut id: NodeId) -> Vec<NodeId> {
+        let mut chain = vec![id];
+        while let Some(&p) = self.parents.get(&id) {
+            if p == id {
+                break;
+            }
+            chain.push(p);
+            id = p;
+        }
+        chain
+    }
+
+    fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let aa = self.ancestors(a);
+        let bb = self.ancestors(b);
+        for x in &aa {
+            if bb.contains(x) {
+                return *x;
+            }
+        }
+        self.design.top()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhdl_core::{by, DType, DesignBuilder, ReduceOp};
+
+    fn platform() -> Platform {
+        Platform::maia()
+    }
+
+    fn streaming(toggle: bool, par: u32, tile: u64) -> Design {
+        let n = 4096;
+        let mut b = DesignBuilder::new("stream");
+        let x = b.off_chip("x", DType::F32, &[n]);
+        let y = b.off_chip("y", DType::F32, &[n]);
+        b.sequential(|b| {
+            b.outer(toggle, &[by(n, tile)], 1, |b, iters| {
+                let i = iters[0];
+                let xt = b.bram("xT", DType::F32, &[tile]);
+                let yt = b.bram("yT", DType::F32, &[tile]);
+                b.tile_load(x, xt, &[i], &[tile], par);
+                b.pipe(&[by(tile, 1)], par, |b, it| {
+                    let v = b.load(xt, &[it[0]]);
+                    let w = b.mul(v, v);
+                    b.store(yt, &[it[0]], w);
+                });
+                b.tile_store(y, yt, &[i], &[tile], par);
+            });
+        });
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn metapipe_beats_sequential() {
+        let p = platform();
+        let seq = estimate_cycles(&streaming(false, 1, 256), &p);
+        let meta = estimate_cycles(&streaming(true, 1, 256), &p);
+        assert!(
+            meta < seq,
+            "coarse-grained pipelining must overlap stages: {meta} vs {seq}"
+        );
+    }
+
+    #[test]
+    fn parallelism_reduces_compute_time() {
+        let p = platform();
+        let slow = estimate_cycles(&streaming(false, 1, 256), &p);
+        let fast = estimate_cycles(&streaming(false, 8, 256), &p);
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn larger_tiles_amortize_latency() {
+        let p = platform();
+        let small = estimate_cycles(&streaming(true, 1, 64), &p);
+        let big = estimate_cycles(&streaming(true, 1, 1024), &p);
+        assert!(big < small, "{big} vs {small}");
+    }
+
+    #[test]
+    fn reduce_pipe_counts_tree_latency() {
+        let p = platform();
+        let build = |par: u32| {
+            let mut b = DesignBuilder::new("red");
+            b.sequential(|b| {
+                let acc = b.reg("acc", DType::F32, 0.0);
+                let m = b.bram("m", DType::F32, &[64]);
+                b.pipe_reduce(&[by(64, 1)], par, acc, ReduceOp::Add, |b, it| {
+                    b.load(m, &[it[0]])
+                });
+            });
+            b.finish().unwrap()
+        };
+        let c1 = estimate_cycles(&build(1), &p);
+        let c8 = estimate_cycles(&build(8), &p);
+        // 8 lanes: 64/8 = 8 iterations instead of 64, despite tree latency.
+        assert!(c8 < c1);
+    }
+
+    #[test]
+    fn breakdown_top_entry_is_the_design() {
+        let p = platform();
+        let d = streaming(true, 2, 256);
+        let total = estimate_cycles(&d, &p);
+        let entries = estimate_breakdown(&d, &p);
+        // The heaviest entry is the root controller and matches the total.
+        assert_eq!(entries[0].ctrl, d.top());
+        assert!((entries[0].total - total).abs() < 1e-9);
+        // Every controller appears exactly once.
+        assert_eq!(entries.len(), d.controllers().len());
+        // Nested entries never exceed the root.
+        for e in &entries {
+            assert!(e.total <= entries[0].total * 1.5, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn contention_counts_parallel_siblings() {
+        let mut b = DesignBuilder::new("par");
+        let x = b.off_chip("x", DType::F32, &[1024]);
+        let y = b.off_chip("y", DType::F32, &[1024]);
+        b.sequential(|b| {
+            let xt = b.bram("xT", DType::F32, &[1024]);
+            let yt = b.bram("yT", DType::F32, &[1024]);
+            let z = b.index_const(0);
+            b.parallel(|b| {
+                b.tile_load(x, xt, &[z], &[1024], 1);
+                b.tile_load(y, yt, &[z], &[1024], 1);
+            });
+            b.pipe(&[by(1024, 1)], 1, |b, it| {
+                let v = b.load(xt, &[it[0]]);
+                let w = b.load(yt, &[it[0]]);
+                let s = b.add(v, w);
+                b.store(xt, &[it[0]], s);
+            });
+        });
+        let d = b.finish().unwrap();
+        let p = platform();
+        let cycles = estimate_cycles(&d, &p);
+        // Two concurrent loads of 4 KiB at 250 B/cycle with contention 2
+        // must take at least 2 * 4096/250 cycles plus compute.
+        assert!(cycles > 2.0 * 4096.0 / 250.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! # dhdl-estimate — fast area and cycle-count estimation
+//!
+//! The paper's core contribution (§IV): millisecond-scale estimates of
+//! FPGA resource usage and execution cycles for DHDL design instances,
+//! accurate enough to drive design space exploration.
+//!
+//! * [`estimate_cycles`] — recursive latency analysis with the MetaPipe
+//!   pipelining formula `(N−1)·max(stages) + Σ stages`, critical-path
+//!   search in pipe bodies, and a contention-aware off-chip memory model;
+//! * [`AreaEstimator`] — hybrid analytical + neural-network area model
+//!   (§IV-B2): characterized template counts, ML-predicted routing LUTs,
+//!   register duplication and unavailable LUTs, a linear model for BRAM
+//!   duplication, and a LUT-packing closure;
+//! * [`calibrate`] — one-time training against the synthesis model on
+//!   random design samples (application-independent).
+//!
+//! ```no_run
+//! use dhdl_estimate::Estimator;
+//! use dhdl_target::Platform;
+//!
+//! let platform = Platform::maia();
+//! let estimator = Estimator::calibrate(&platform, 42);
+//! # let design: dhdl_core::Design = unimplemented!();
+//! let e = estimator.estimate(&design);
+//! println!("{} cycles, {} ALMs", e.cycles, e.area.alms);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bottleneck;
+mod calibrate;
+mod hybrid;
+mod latency;
+
+pub use bottleneck::{classify, Bottleneck};
+pub use calibrate::{calibrate, cross_validate, random_design, CalibrationReport, DEFAULT_SAMPLES};
+pub use hybrid::{features, raw_estimate, AreaEstimator, N_FEATURES};
+pub use latency::{estimate_breakdown, estimate_cycles, LatencyEntry};
+
+use dhdl_core::Design;
+use dhdl_synth::elaborate;
+use dhdl_target::{AreaReport, Platform};
+
+/// A complete design estimate: cycles and post-place-and-route area.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Estimated execution cycles at the fabric clock.
+    pub cycles: f64,
+    /// Estimated area in device units.
+    pub area: AreaReport,
+}
+
+impl Estimate {
+    /// Estimated wall-clock runtime on `platform`.
+    pub fn seconds(&self, platform: &Platform) -> f64 {
+        platform.cycles_to_seconds(self.cycles)
+    }
+
+    /// Estimated power draw on `platform` in watts.
+    pub fn watts(&self, platform: &Platform) -> f64 {
+        platform.power.watts(&self.area, platform.fpga.fabric_clock_hz)
+    }
+
+    /// Estimated energy for one execution on `platform`, in joules.
+    pub fn joules(&self, platform: &Platform) -> f64 {
+        platform
+            .power
+            .joules(&self.area, platform.fpga.fabric_clock_hz, self.seconds(platform))
+    }
+}
+
+/// The calibrated estimator: platform model plus trained area networks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimator {
+    platform: Platform,
+    area: AreaEstimator,
+}
+
+impl Estimator {
+    /// Calibrate an estimator for `platform` with the paper's default of
+    /// 200 synthesis samples.
+    pub fn calibrate(platform: &Platform, seed: u64) -> Self {
+        Self::calibrate_with(platform, DEFAULT_SAMPLES, seed).0
+    }
+
+    /// Calibrate with an explicit sample count, returning quality metrics.
+    pub fn calibrate_with(
+        platform: &Platform,
+        samples: usize,
+        seed: u64,
+    ) -> (Self, CalibrationReport) {
+        let (area, report) = calibrate(&platform.fpga, samples, seed);
+        (
+            Estimator {
+                platform: platform.clone(),
+                area,
+            },
+            report,
+        )
+    }
+
+    /// Build an estimator from a pre-trained area model.
+    pub fn from_model(platform: &Platform, area: AreaEstimator) -> Self {
+        Estimator {
+            platform: platform.clone(),
+            area,
+        }
+    }
+
+    /// The platform this estimator targets.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The trained area model.
+    pub fn area_model(&self) -> &AreaEstimator {
+        &self.area
+    }
+
+    /// Estimate cycles and area for a design instance.
+    pub fn estimate(&self, design: &Design) -> Estimate {
+        Estimate {
+            cycles: estimate_cycles(design, &self.platform),
+            area: self.area.estimate(design, &self.platform.fpga),
+        }
+    }
+
+    /// Estimate only the area of a design instance.
+    pub fn area(&self, design: &Design) -> AreaReport {
+        self.area.estimate(design, &self.platform.fpga)
+    }
+
+    /// Estimate only the cycle count of a design instance.
+    pub fn cycles(&self, design: &Design) -> f64 {
+        estimate_cycles(design, &self.platform)
+    }
+
+    /// Raw analytical area estimate without the learned correction (the
+    /// ablation baseline of DESIGN.md).
+    pub fn raw_area(&self, design: &Design) -> AreaReport {
+        raw_estimate(&elaborate(design, &self.platform.fpga), &self.platform.fpga)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhdl_core::{by, DType, DesignBuilder, ReduceOp};
+
+    fn small_design() -> Design {
+        let mut b = DesignBuilder::new("e2e");
+        let x = b.off_chip("x", DType::F32, &[512]);
+        b.sequential(|b| {
+            let acc = b.reg("acc", DType::F32, 0.0);
+            b.meta_pipe(&[by(512, 64)], 1, |b, iters| {
+                let i = iters[0];
+                let t = b.bram("t", DType::F32, &[64]);
+                b.tile_load(x, t, &[i], &[64], 2);
+                b.pipe_reduce(&[by(64, 1)], 2, acc, ReduceOp::Add, |b, it| {
+                    let v = b.load(t, &[it[0]]);
+                    b.mul(v, v)
+                });
+            });
+        });
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn end_to_end_estimate() {
+        let platform = Platform::maia();
+        let (est, _) = Estimator::calibrate_with(&platform, 40, 3);
+        let e = est.estimate(&small_design());
+        assert!(e.cycles > 0.0);
+        assert!(e.area.alms > 0.0);
+        assert!(e.seconds(&platform) > 0.0);
+        // Raw estimate differs from the corrected one.
+        let raw = est.raw_area(&small_design());
+        assert_ne!(raw.alms, e.area.alms);
+    }
+
+    #[test]
+    fn model_roundtrip_through_text() {
+        let platform = Platform::maia();
+        let (est, _) = Estimator::calibrate_with(&platform, 30, 5);
+        let text = est.area_model().to_text();
+        let model = AreaEstimator::from_text(&text).unwrap();
+        let est2 = Estimator::from_model(&platform, model);
+        let d = small_design();
+        assert_eq!(est.area(&d), est2.area(&d));
+    }
+}

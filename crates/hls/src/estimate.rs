@@ -1,0 +1,192 @@
+//! The HLS estimation driver.
+//!
+//! Two modes, matching Table IV:
+//! * **restricted** — outer-loop `PIPELINE` directives are ignored; each
+//!   loop body is scheduled separately and latencies compose analytically.
+//!   This is the "restricted design space (ignores outer loop pipelining)"
+//!   column.
+//! * **full** — loops marked `pipeline` have all nested loops completely
+//!   unrolled into one flat DFG which is then modulo-scheduled, exactly the
+//!   behaviour that makes "estimation time for Vivado HLS increase
+//!   dramatically when the outer loop is pipelined" (§V-C2).
+
+use std::time::{Duration, Instant};
+
+use crate::binding::bind_rtl;
+use crate::kernel::{HlsKernel, HlsLoop};
+use crate::schedule::{list_schedule, modulo_schedule, unroll, FlatOp, ResourceLimits};
+
+/// An HLS estimation report for one design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HlsEstimate {
+    /// Estimated kernel latency in cycles.
+    pub latency: u64,
+    /// Estimated DSP usage (peak bound multipliers).
+    pub dsps: usize,
+    /// Estimated LUT usage from RTL binding.
+    pub luts: usize,
+    /// Number of operations scheduled (graph size).
+    pub scheduled_ops: usize,
+    /// Wall-clock time the estimation itself took.
+    pub elapsed: Duration,
+}
+
+/// Estimation mode (Table IV columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HlsMode {
+    /// Ignore outer-loop pipeline directives.
+    Restricted,
+    /// Honor pipeline directives via full unrolling.
+    Full,
+}
+
+/// Estimate a kernel's latency and resources, timing the estimation.
+pub fn estimate(kernel: &HlsKernel, mode: HlsMode, limits: &ResourceLimits) -> HlsEstimate {
+    let start = Instant::now();
+    let mut latency = 0u64;
+    let mut dsps = 0usize;
+    let mut scheduled = 0usize;
+    for l in &kernel.loops {
+        let (lat, d, n) = estimate_loop(l, mode, limits);
+        latency += lat;
+        dsps = dsps.max(d);
+        scheduled += n;
+    }
+    // RTL elaboration and operator binding over the scheduled design —
+    // the fixed flow cost every HLS run pays regardless of pipelining.
+    let bind = bind_rtl(scheduled, kernel.name.len() as u64 + 1);
+    HlsEstimate {
+        latency,
+        dsps,
+        luts: bind.luts,
+        scheduled_ops: scheduled,
+        elapsed: start.elapsed(),
+    }
+}
+
+fn estimate_loop(l: &HlsLoop, mode: HlsMode, limits: &ResourceLimits) -> (u64, usize, usize) {
+    let has_children = !l.children.is_empty();
+    if l.pipeline && mode == HlsMode::Full && has_children {
+        // Outer-loop pipelining: completely unroll everything below, then
+        // modulo-schedule the (huge) flat graph. One loop iteration's graph
+        // is the steady-state body; II applies across outer iterations.
+        let mut one_iter = l.clone();
+        one_iter.trip = 1;
+        let ops: Vec<FlatOp> = unroll(&one_iter);
+        let s = modulo_schedule(&ops, limits);
+        let lat = s.latency + s.ii * (l.trip.saturating_sub(1));
+        (lat, s.peak_muls, s.ops)
+    } else if l.pipeline && !has_children {
+        // Innermost pipelined loop: schedule one body (after unrolling by
+        // the unroll factor), II from modulo scheduling.
+        let mut body = l.clone();
+        body.trip = u64::from(l.unroll.max(1));
+        let ops = unroll(&body);
+        let s = modulo_schedule(&ops, limits);
+        let iters = l.trip.div_ceil(u64::from(l.unroll.max(1)));
+        (s.latency + s.ii * iters.saturating_sub(1), s.peak_muls, s.ops)
+    } else {
+        // Unpipelined: schedule the body once, children recursively;
+        // latencies compose multiplicatively with trip counts.
+        let mut body = l.clone();
+        body.trip = u64::from(l.unroll.max(1));
+        body.children.clear();
+        let ops = unroll(&body);
+        let s = if ops.is_empty() {
+            crate::schedule::Schedule {
+                latency: 0,
+                ii: 1,
+                peak_muls: 0,
+                ops: 0,
+            }
+        } else {
+            list_schedule(&ops, limits)
+        };
+        let mut per_iter = s.latency;
+        let mut dsps = s.peak_muls;
+        let mut n = s.ops;
+        for c in &l.children {
+            let (cl, cd, cn) = estimate_loop(c, mode, limits);
+            per_iter += cl;
+            dsps = dsps.max(cd);
+            n += cn;
+        }
+        let iters = l.trip.div_ceil(u64::from(l.unroll.max(1)));
+        (per_iter * iters.max(1), dsps, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{HlsOp, HlsOpKind};
+
+    /// A GDA-shaped nest: outer R loop, inner C and C×C loops.
+    fn gda_like(r: u64, c: u64, outer_pipeline: bool) -> HlsKernel {
+        let sub = HlsLoop::new("L11", c)
+            .with_body(vec![
+                HlsOp::new(HlsOpKind::Load, &[]),
+                HlsOp::new(HlsOpKind::Load, &[]),
+                HlsOp::new(HlsOpKind::Cmp, &[0]),
+                HlsOp::new(HlsOpKind::Add, &[1, 2]),
+                HlsOp::new(HlsOpKind::Store, &[3]),
+            ])
+            .pipelined(true);
+        let outer_prod = HlsLoop::new("L121", c).with_child(
+            HlsLoop::new("L122", c)
+                .with_body(vec![
+                    HlsOp::new(HlsOpKind::Load, &[]),
+                    HlsOp::new(HlsOpKind::Load, &[]),
+                    HlsOp::new(HlsOpKind::Mul, &[0, 1]),
+                    HlsOp::new(HlsOpKind::Add, &[2]).accumulating(),
+                    HlsOp::new(HlsOpKind::Store, &[3]),
+                ])
+                .pipelined(true),
+        );
+        let l1 = HlsLoop::new("L1", r)
+            .with_child(sub)
+            .with_child(outer_prod)
+            .pipelined(outer_pipeline);
+        HlsKernel::new("gda").with_loop(l1)
+    }
+
+    #[test]
+    fn restricted_ignores_outer_pipeline() {
+        let limits = ResourceLimits::default();
+        let k = gda_like(16, 8, true);
+        let r = estimate(&k, HlsMode::Restricted, &limits);
+        let f = estimate(&k, HlsMode::Full, &limits);
+        // Full mode builds a much larger scheduling problem.
+        assert!(f.scheduled_ops > r.scheduled_ops * 4, "{f:?} vs {r:?}");
+    }
+
+    #[test]
+    fn full_mode_is_slower_to_estimate() {
+        let limits = ResourceLimits::default();
+        let k = gda_like(64, 48, true);
+        let r = estimate(&k, HlsMode::Restricted, &limits);
+        let f = estimate(&k, HlsMode::Full, &limits);
+        assert!(
+            f.elapsed > r.elapsed,
+            "full {:?} restricted {:?}",
+            f.elapsed,
+            r.elapsed
+        );
+    }
+
+    #[test]
+    fn latency_scales_with_trip_count() {
+        let limits = ResourceLimits::default();
+        let small = estimate(&gda_like(8, 8, false), HlsMode::Restricted, &limits);
+        let large = estimate(&gda_like(32, 8, false), HlsMode::Restricted, &limits);
+        assert!(large.latency > small.latency * 3);
+    }
+
+    #[test]
+    fn empty_kernel_is_zero() {
+        let k = HlsKernel::new("empty");
+        let e = estimate(&k, HlsMode::Full, &ResourceLimits::default());
+        assert_eq!(e.latency, 0);
+        assert_eq!(e.scheduled_ops, 0);
+    }
+}

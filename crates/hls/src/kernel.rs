@@ -1,0 +1,198 @@
+//! A C-like loop-nest IR, as consumed by commercial HLS tools.
+//!
+//! Mirrors the abstraction level of Figure 2 in the paper: imperative
+//! loop nests over arrays, annotated with `PIPELINE` directives and unroll
+//! factors — the only design parameters HLS exposes (§V-C2).
+
+/// Operation classes with distinct latency/resource behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HlsOpKind {
+    /// Integer/float addition or subtraction.
+    Add,
+    /// Multiplication (binds to DSP blocks).
+    Mul,
+    /// Division or other long-latency op.
+    Div,
+    /// Array read.
+    Load,
+    /// Array write.
+    Store,
+    /// Comparison / select.
+    Cmp,
+}
+
+impl HlsOpKind {
+    /// Pipeline latency in cycles.
+    pub fn latency(self) -> u64 {
+        match self {
+            HlsOpKind::Add => 3,
+            HlsOpKind::Mul => 4,
+            HlsOpKind::Div => 14,
+            HlsOpKind::Load | HlsOpKind::Store => 1,
+            HlsOpKind::Cmp => 1,
+        }
+    }
+}
+
+/// One operation in a loop body. Dependencies index into the body's op
+/// list; `accumulate` marks a loop-carried dependency (e.g. `sigma += x`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HlsOp {
+    /// Operation class.
+    pub kind: HlsOpKind,
+    /// Indices of operations in the same body this op depends on.
+    pub deps: Vec<usize>,
+    /// Whether the op accumulates across loop iterations (creates a
+    /// loop-carried dependence chain when unrolled).
+    pub accumulate: bool,
+}
+
+impl HlsOp {
+    /// A new op depending on earlier body ops.
+    pub fn new(kind: HlsOpKind, deps: &[usize]) -> Self {
+        HlsOp {
+            kind,
+            deps: deps.to_vec(),
+            accumulate: false,
+        }
+    }
+
+    /// Mark the op as a loop-carried accumulation.
+    pub fn accumulating(mut self) -> Self {
+        self.accumulate = true;
+        self
+    }
+}
+
+/// A counted loop with a straight-line body and nested child loops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HlsLoop {
+    /// Label (e.g. `"L1"`).
+    pub name: String,
+    /// Trip count.
+    pub trip: u64,
+    /// Straight-line operations executed each iteration (before children).
+    pub body: Vec<HlsOp>,
+    /// Nested loops executed each iteration (after the body ops).
+    pub children: Vec<HlsLoop>,
+    /// `#pragma HLS PIPELINE` on this loop.
+    pub pipeline: bool,
+    /// `#pragma HLS UNROLL factor=` on this loop.
+    pub unroll: u32,
+}
+
+impl HlsLoop {
+    /// A new loop with the given label and trip count.
+    pub fn new(name: &str, trip: u64) -> Self {
+        HlsLoop {
+            name: name.to_string(),
+            trip,
+            body: Vec::new(),
+            children: Vec::new(),
+            pipeline: false,
+            unroll: 1,
+        }
+    }
+
+    /// Add body operations; returns `self` for chaining.
+    pub fn with_body(mut self, ops: Vec<HlsOp>) -> Self {
+        self.body = ops;
+        self
+    }
+
+    /// Nest a child loop.
+    pub fn with_child(mut self, child: HlsLoop) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Apply a pipeline directive.
+    pub fn pipelined(mut self, on: bool) -> Self {
+        self.pipeline = on;
+        self
+    }
+
+    /// Apply an unroll factor.
+    pub fn unrolled(mut self, factor: u32) -> Self {
+        self.unroll = factor.max(1);
+        self
+    }
+
+    /// Number of operations in one iteration including children.
+    pub fn ops_per_iter(&self) -> u64 {
+        self.body.len() as u64
+            + self
+                .children
+                .iter()
+                .map(|c| c.trip * c.ops_per_iter())
+                .sum::<u64>()
+    }
+
+    /// Total dynamic operations of the loop.
+    pub fn total_ops(&self) -> u64 {
+        self.trip * self.ops_per_iter()
+    }
+}
+
+/// A top-level HLS kernel: a sequence of loops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HlsKernel {
+    /// Kernel name.
+    pub name: String,
+    /// Top-level loops, executed in order.
+    pub loops: Vec<HlsLoop>,
+}
+
+impl HlsKernel {
+    /// A new kernel with the given name.
+    pub fn new(name: &str) -> Self {
+        HlsKernel {
+            name: name.to_string(),
+            loops: Vec::new(),
+        }
+    }
+
+    /// Append a top-level loop.
+    pub fn with_loop(mut self, l: HlsLoop) -> Self {
+        self.loops.push(l);
+        self
+    }
+
+    /// Total dynamic operation count.
+    pub fn total_ops(&self) -> u64 {
+        self.loops.iter().map(HlsLoop::total_ops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_counting() {
+        let inner = HlsLoop::new("L2", 10).with_body(vec![
+            HlsOp::new(HlsOpKind::Load, &[]),
+            HlsOp::new(HlsOpKind::Mul, &[0]),
+            HlsOp::new(HlsOpKind::Store, &[1]),
+        ]);
+        let outer = HlsLoop::new("L1", 4).with_child(inner);
+        assert_eq!(outer.ops_per_iter(), 30);
+        assert_eq!(outer.total_ops(), 120);
+        let k = HlsKernel::new("k").with_loop(outer);
+        assert_eq!(k.total_ops(), 120);
+    }
+
+    #[test]
+    fn builder_flags() {
+        let l = HlsLoop::new("L", 8).pipelined(true).unrolled(4);
+        assert!(l.pipeline);
+        assert_eq!(l.unroll, 4);
+        assert_eq!(HlsLoop::new("L", 8).unrolled(0).unroll, 1);
+    }
+
+    #[test]
+    fn latencies_ordered() {
+        assert!(HlsOpKind::Div.latency() > HlsOpKind::Mul.latency());
+        assert!(HlsOpKind::Mul.latency() > HlsOpKind::Load.latency());
+    }
+}

@@ -1,0 +1,38 @@
+//! # dhdl-hls — a mock commercial high-level-synthesis estimator
+//!
+//! Stand-in for Vivado HLS in the exploration-speed comparison of Table IV.
+//! It consumes C-like loop nests ([`HlsKernel`]) with `PIPELINE`/unroll
+//! directives — the design parameters HLS exposes — and reproduces the
+//! *mechanism* behind commercial HLS estimation cost: pipelining an outer
+//! loop completely unrolls all inner loops into one flat dataflow graph
+//! which is then modulo-scheduled under resource constraints (§V-C2).
+//! Estimation in [`HlsMode::Full`] therefore slows down by orders of
+//! magnitude on exactly the design points DHDL handles in microseconds.
+//!
+//! ```
+//! use dhdl_hls::{estimate, HlsKernel, HlsLoop, HlsMode, HlsOp, HlsOpKind, ResourceLimits};
+//!
+//! let body = vec![
+//!     HlsOp::new(HlsOpKind::Load, &[]),
+//!     HlsOp::new(HlsOpKind::Mul, &[0]),
+//!     HlsOp::new(HlsOpKind::Store, &[1]),
+//! ];
+//! let kernel = HlsKernel::new("scale")
+//!     .with_loop(HlsLoop::new("L1", 128).with_body(body).pipelined(true));
+//! let report = estimate(&kernel, HlsMode::Full, &ResourceLimits::default());
+//! assert!(report.latency > 128);
+//! ```
+
+#![warn(missing_docs)]
+
+mod binding;
+mod estimate;
+mod kernel;
+mod render;
+mod schedule;
+
+pub use binding::{bind_rtl, BindReport};
+pub use render::to_c;
+pub use estimate::{estimate, HlsEstimate, HlsMode};
+pub use kernel::{HlsKernel, HlsLoop, HlsOp, HlsOpKind};
+pub use schedule::{list_schedule, modulo_schedule, unroll, FlatOp, ResourceLimits, Schedule};

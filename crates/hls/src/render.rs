@@ -1,0 +1,97 @@
+//! Render an [`HlsKernel`] as annotated C source — the Figure 2 view of a
+//! design, with `#pragma HLS` directives where the kernel requests
+//! pipelining or unrolling.
+
+use std::fmt::Write as _;
+
+use crate::kernel::{HlsKernel, HlsLoop, HlsOpKind};
+
+/// Render the kernel as C-like source with HLS pragmas.
+pub fn to_c(kernel: &HlsKernel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "void {}(/* array arguments */) {{", kernel.name);
+    for (i, l) in kernel.loops.iter().enumerate() {
+        render_loop(l, &mut out, 1, &format!("{}", i));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn render_loop(l: &HlsLoop, out: &mut String, depth: usize, path: &str) {
+    let pad = "  ".repeat(depth);
+    let var = format!("i{path}");
+    let _ = writeln!(
+        out,
+        "{pad}{}: for (int {var} = 0; {var} < {}; {var}++) {{",
+        l.name, l.trip
+    );
+    if l.pipeline {
+        let _ = writeln!(out, "{pad}  #pragma HLS PIPELINE II=1");
+    }
+    if l.unroll > 1 {
+        let _ = writeln!(out, "{pad}  #pragma HLS UNROLL factor={}", l.unroll);
+    }
+    for (j, op) in l.body.iter().enumerate() {
+        let pad2 = "  ".repeat(depth + 1);
+        let expr = match op.kind {
+            HlsOpKind::Load => format!("t{j} = in{j}[{var}];"),
+            HlsOpKind::Store => format!("out[{var}] = t{};", op.deps.first().copied().unwrap_or(0)),
+            HlsOpKind::Add => binop("+", j, op),
+            HlsOpKind::Mul => binop("*", j, op),
+            HlsOpKind::Div => binop("/", j, op),
+            HlsOpKind::Cmp => binop("<", j, op),
+        };
+        let acc = if op.accumulate { " /* accumulates */" } else { "" };
+        let _ = writeln!(out, "{pad2}{expr}{acc}");
+    }
+    for (k, child) in l.children.iter().enumerate() {
+        render_loop(child, out, depth + 1, &format!("{path}_{k}"));
+    }
+    let _ = writeln!(out, "{pad}}}");
+}
+
+fn binop(sym: &str, j: usize, op: &crate::kernel::HlsOp) -> String {
+    let a = op.deps.first().copied().unwrap_or(0);
+    let b = op.deps.get(1).copied().unwrap_or(a);
+    format!("t{j} = t{a} {sym} t{b};")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::HlsOp;
+
+    fn sample() -> HlsKernel {
+        let inner = HlsLoop::new("L2", 96)
+            .with_body(vec![
+                HlsOp::new(HlsOpKind::Load, &[]),
+                HlsOp::new(HlsOpKind::Mul, &[0, 0]),
+                HlsOp::new(HlsOpKind::Add, &[1]).accumulating(),
+                HlsOp::new(HlsOpKind::Store, &[2]),
+            ])
+            .pipelined(true)
+            .unrolled(4);
+        HlsKernel::new("gda").with_loop(HlsLoop::new("L1", 360).with_child(inner))
+    }
+
+    #[test]
+    fn renders_figure2_shapes() {
+        let c = to_c(&sample());
+        assert!(c.contains("void gda("));
+        assert!(c.contains("L1: for (int"));
+        assert!(c.contains("L2: for (int"));
+        assert!(c.contains("#pragma HLS PIPELINE II=1"));
+        assert!(c.contains("#pragma HLS UNROLL factor=4"));
+        assert!(c.contains("/* accumulates */"));
+        assert_eq!(c.matches('{').count(), c.matches('}').count());
+    }
+
+    #[test]
+    fn unpipelined_loops_have_no_pragma() {
+        let k = HlsKernel::new("k").with_loop(
+            HlsLoop::new("L", 8).with_body(vec![HlsOp::new(HlsOpKind::Load, &[])]),
+        );
+        let c = to_c(&k);
+        assert!(!c.contains("#pragma"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the HLS baseline: scheduling invariants across
+//! randomly shaped loop nests.
+
+use dhdl_hls::{estimate, HlsKernel, HlsLoop, HlsMode, HlsOp, HlsOpKind, ResourceLimits};
+use proptest::prelude::*;
+
+fn random_nest(outer_trip: u64, inner_trip: u64, body_ops: usize, accumulate: bool) -> HlsKernel {
+    let mut body = vec![HlsOp::new(HlsOpKind::Load, &[])];
+    for i in 1..body_ops.max(1) {
+        let kind = match i % 3 {
+            0 => HlsOpKind::Add,
+            1 => HlsOpKind::Mul,
+            _ => HlsOpKind::Cmp,
+        };
+        body.push(HlsOp::new(kind, &[i - 1]));
+    }
+    if accumulate {
+        let last = body.len() - 1;
+        body.push(HlsOp::new(HlsOpKind::Add, &[last]).accumulating());
+    }
+    let inner = HlsLoop::new("Li", inner_trip).with_body(body).pipelined(true);
+    HlsKernel::new("k").with_loop(
+        HlsLoop::new("Lo", outer_trip)
+            .with_child(inner)
+            .pipelined(true),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Full-mode scheduling always builds a graph at least as large as
+    /// restricted mode, and both latencies scale with the outer trip.
+    #[test]
+    fn full_mode_schedules_more(outer in 2u64..12, inner in 2u64..24, ops in 1usize..8) {
+        let limits = ResourceLimits::default();
+        let k = random_nest(outer, inner, ops, true);
+        let r = estimate(&k, HlsMode::Restricted, &limits);
+        let f = estimate(&k, HlsMode::Full, &limits);
+        prop_assert!(f.scheduled_ops >= r.scheduled_ops);
+        prop_assert!(r.latency > 0);
+        prop_assert!(f.latency > 0);
+        // Latency grows with the workload.
+        let bigger = random_nest(outer * 2, inner, ops, true);
+        let r2 = estimate(&bigger, HlsMode::Restricted, &limits);
+        prop_assert!(r2.latency >= r.latency);
+    }
+
+    /// Tighter resource limits never reduce latency.
+    #[test]
+    fn limits_are_monotone(outer in 2u64..8, inner in 4u64..16, ops in 2usize..8) {
+        let k = random_nest(outer, inner, ops, false);
+        let loose = estimate(&k, HlsMode::Full, &ResourceLimits::default());
+        let tight = estimate(
+            &k,
+            HlsMode::Full,
+            &ResourceLimits { muls: 1, adds: 1, divs: 1, mem_ports: 1 },
+        );
+        prop_assert!(tight.latency >= loose.latency);
+    }
+
+    /// Estimation is deterministic.
+    #[test]
+    fn estimation_is_deterministic(outer in 2u64..8, inner in 2u64..16, ops in 1usize..6) {
+        let limits = ResourceLimits::default();
+        let k = random_nest(outer, inner, ops, true);
+        let a = estimate(&k, HlsMode::Full, &limits);
+        let b = estimate(&k, HlsMode::Full, &limits);
+        prop_assert_eq!(a.latency, b.latency);
+        prop_assert_eq!(a.luts, b.luts);
+        prop_assert_eq!(a.scheduled_ops, b.scheduled_ops);
+    }
+}

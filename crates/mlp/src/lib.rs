@@ -1,0 +1,139 @@
+//! # dhdl-mlp — a small neural network library
+//!
+//! Substitute for the Encog machine-learning library used by the paper's
+//! hybrid area estimator (§IV-B2): fully connected feed-forward networks
+//! with RPROP training and min-max feature normalization.
+//!
+//! The paper's estimator uses "a set of small artificial neural networks
+//! ... three fully connected layers with eleven input nodes, six hidden
+//! layer nodes, and a single output node", trained once per target device
+//! and toolchain on ~200 design samples.
+//!
+//! ```
+//! use dhdl_mlp::{train_rprop, Activation, Dataset, Mlp, TrainConfig};
+//!
+//! // Fit y = x^2 on [0, 1].
+//! let mut data = Dataset::new();
+//! for i in 0..=20 {
+//!     let x = i as f64 / 20.0;
+//!     data.push(&[x], &[x * x]);
+//! }
+//! let mut net = Mlp::new(&[1, 6, 1], Activation::Sigmoid, 42);
+//! let report = train_rprop(&mut net, &data, &TrainConfig::default());
+//! assert!(report.mse < 1e-3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod network;
+mod norm;
+mod train;
+
+pub use network::{Activation, Mlp};
+pub use norm::Normalizer;
+pub use train::{mse, train_rprop, train_sgd, Dataset, SgdConfig, TrainConfig, TrainReport};
+
+/// A regression model bundling a network with its input/output normalizers,
+/// predicting a single scalar from a feature vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regressor {
+    net: Mlp,
+    inputs: Normalizer,
+    outputs: Normalizer,
+}
+
+impl Regressor {
+    /// Fit a regressor on `(features, target)` samples using a
+    /// `[n_features, hidden, 1]` network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn fit(samples: &[(Vec<f64>, f64)], hidden: usize, seed: u64, cfg: &TrainConfig) -> Self {
+        assert!(!samples.is_empty(), "cannot fit a regressor to no data");
+        let xs: Vec<Vec<f64>> = samples.iter().map(|(x, _)| x.clone()).collect();
+        let ys: Vec<Vec<f64>> = samples.iter().map(|&(_, y)| vec![y]).collect();
+        let inputs = Normalizer::fit(&xs);
+        let outputs = Normalizer::fit(&ys);
+        let mut data = Dataset::new();
+        for ((x, _), y) in samples.iter().zip(&ys) {
+            data.push(&inputs.apply(x), &outputs.apply(y));
+        }
+        let mut net = Mlp::new(&[xs[0].len(), hidden, 1], Activation::Sigmoid, seed);
+        train_rprop(&mut net, &data, cfg);
+        Regressor {
+            net,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Predict the target for one feature vector.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        let x = self.inputs.apply(features);
+        let y = self.net.forward(&x);
+        self.outputs.invert(0, y[0])
+    }
+
+    /// Serialize to plain text.
+    pub fn to_text(&self) -> String {
+        format!(
+            "{}--\n{}--\n{}",
+            self.net.to_text(),
+            self.inputs.to_text(),
+            self.outputs.to_text()
+        )
+    }
+
+    /// Deserialize from [`Regressor::to_text`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed section.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut parts = text.split("--\n");
+        let net = Mlp::from_text(parts.next().ok_or("missing network")?)?;
+        let inputs = Normalizer::from_text(parts.next().ok_or("missing input norm")?)?;
+        let outputs = Normalizer::from_text(parts.next().ok_or("missing output norm")?)?;
+        Ok(Regressor {
+            net,
+            inputs,
+            outputs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regressor_fits_polynomial() {
+        // §IV-B2 cites universal approximation of polynomials as the
+        // rationale for three-layer networks; verify on a cubic.
+        let samples: Vec<(Vec<f64>, f64)> = (0..40)
+            .map(|i| {
+                let x = i as f64 / 40.0;
+                (vec![x], 3.0 * x * x * x - 2.0 * x + 1.0)
+            })
+            .collect();
+        let cfg = TrainConfig {
+            max_epochs: 6000,
+            ..TrainConfig::default()
+        };
+        let r = Regressor::fit(&samples, 8, 9, &cfg);
+        for (x, y) in &samples {
+            assert!((r.predict(x) - y).abs() < 0.08, "x={x:?} y={y}");
+        }
+    }
+
+    #[test]
+    fn regressor_roundtrip() {
+        let samples: Vec<(Vec<f64>, f64)> = (0..10)
+            .map(|i| (vec![i as f64, (10 - i) as f64], i as f64 * 2.0))
+            .collect();
+        let r = Regressor::fit(&samples, 4, 2, &TrainConfig::default());
+        let back = Regressor::from_text(&r.to_text()).unwrap();
+        assert_eq!(r.predict(&[3.0, 7.0]), back.predict(&[3.0, 7.0]));
+    }
+}

@@ -1,0 +1,224 @@
+//! Scalar expression trees for pattern kernel bodies.
+//!
+//! A pattern's per-element function is a pure expression over the zipped
+//! input elements. Expressions can be evaluated directly (the pattern
+//! interpreter / reference semantics) or emitted into a DHDL `Pipe` body
+//! during lowering.
+
+use dhdl_core::{DType, DesignBuilder, NodeId, PrimOp};
+
+/// A pure scalar expression over `In(i)` element inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// The element of the i-th zipped input array.
+    In(usize),
+    /// A literal constant.
+    Const(f64),
+    /// Unary primitive.
+    Un(PrimOp, Box<Expr>),
+    /// Binary primitive.
+    Bin(PrimOp, Box<Expr>, Box<Expr>),
+    /// Select: `cond ? then : else`.
+    Mux(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Input reference.
+    pub fn input(i: usize) -> Expr {
+        Expr::In(i)
+    }
+
+    /// Constant.
+    pub fn lit(v: f64) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Apply a unary primitive.
+    pub fn un(op: PrimOp, a: Expr) -> Expr {
+        Expr::Un(op, Box::new(a))
+    }
+
+    /// Apply a binary primitive.
+    pub fn bin(op: PrimOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Addition.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::bin(PrimOp::Add, a, b)
+    }
+
+    /// Subtraction.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::bin(PrimOp::Sub, a, b)
+    }
+
+    /// Multiplication.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::bin(PrimOp::Mul, a, b)
+    }
+
+    /// Select.
+    pub fn mux(c: Expr, t: Expr, f: Expr) -> Expr {
+        Expr::Mux(Box::new(c), Box::new(t), Box::new(f))
+    }
+
+    /// Number of distinct inputs referenced (max index + 1).
+    pub fn arity(&self) -> usize {
+        match self {
+            Expr::In(i) => i + 1,
+            Expr::Const(_) => 0,
+            Expr::Un(_, a) => a.arity(),
+            Expr::Bin(_, a, b) => a.arity().max(b.arity()),
+            Expr::Mux(c, t, f) => c.arity().max(t.arity()).max(f.arity()),
+        }
+    }
+
+    /// Number of operation nodes in the expression.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::In(_) | Expr::Const(_) => 0,
+            Expr::Un(_, a) => 1 + a.size(),
+            Expr::Bin(_, a, b) => 1 + a.size() + b.size(),
+            Expr::Mux(c, t, f) => 1 + c.size() + t.size() + f.size(),
+        }
+    }
+
+    /// Evaluate the expression over element values `x`, quantizing every
+    /// intermediate to `ty` (matching the hardware datapath).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression references an input beyond `x.len()`.
+    pub fn eval(&self, x: &[f64], ty: DType) -> f64 {
+        let v = match self {
+            Expr::In(i) => x[*i],
+            Expr::Const(c) => *c,
+            Expr::Un(op, a) => apply(*op, a.eval(x, ty), 0.0),
+            Expr::Bin(op, a, b) => apply(*op, a.eval(x, ty), b.eval(x, ty)),
+            Expr::Mux(c, t, f) => {
+                if c.eval(x, ty) != 0.0 {
+                    t.eval(x, ty)
+                } else {
+                    f.eval(x, ty)
+                }
+            }
+        };
+        match self {
+            // Predicates stay 0/1; everything else quantizes to the
+            // element type.
+            Expr::Bin(op, _, _) if op.is_predicate() => v,
+            _ => ty.quantize(v),
+        }
+    }
+
+    /// Substitute the `In(i)` leaves with the given expressions (used by
+    /// fusion to inline a producer map into its consumer).
+    pub fn substitute(&self, subs: &[Expr]) -> Expr {
+        match self {
+            Expr::In(i) => subs
+                .get(*i)
+                .cloned()
+                .unwrap_or(Expr::In(*i)),
+            Expr::Const(c) => Expr::Const(*c),
+            Expr::Un(op, a) => Expr::un(*op, a.substitute(subs)),
+            Expr::Bin(op, a, b) => Expr::bin(*op, a.substitute(subs), b.substitute(subs)),
+            Expr::Mux(c, t, f) => Expr::mux(
+                c.substitute(subs),
+                t.substitute(subs),
+                f.substitute(subs),
+            ),
+        }
+    }
+
+    /// Emit the expression into the current `Pipe` body; `inputs[i]` is
+    /// the node holding the i-th zipped element.
+    pub fn emit(&self, b: &mut DesignBuilder, inputs: &[NodeId], ty: DType) -> NodeId {
+        match self {
+            Expr::In(i) => inputs[*i],
+            Expr::Const(c) => b.constant(*c, ty),
+            Expr::Un(op, a) => {
+                let av = a.emit(b, inputs, ty);
+                b.prim(*op, &[av])
+            }
+            Expr::Bin(op, a, e) => {
+                let av = a.emit(b, inputs, ty);
+                let ev = e.emit(b, inputs, ty);
+                b.prim(*op, &[av, ev])
+            }
+            Expr::Mux(c, t, f) => {
+                let cv = c.emit(b, inputs, ty);
+                let tv = t.emit(b, inputs, ty);
+                let fv = f.emit(b, inputs, ty);
+                b.mux(cv, tv, fv)
+            }
+        }
+    }
+}
+
+fn apply(op: PrimOp, a: f64, b: f64) -> f64 {
+    match op {
+        PrimOp::Add => a + b,
+        PrimOp::Sub => a - b,
+        PrimOp::Mul => a * b,
+        PrimOp::Div => a / b,
+        PrimOp::Rem => a % b,
+        PrimOp::Lt => f64::from(a < b),
+        PrimOp::Le => f64::from(a <= b),
+        PrimOp::Gt => f64::from(a > b),
+        PrimOp::Ge => f64::from(a >= b),
+        PrimOp::Eq => f64::from(a == b),
+        PrimOp::Ne => f64::from(a != b),
+        PrimOp::And => f64::from(a != 0.0 && b != 0.0),
+        PrimOp::Or => f64::from(a != 0.0 || b != 0.0),
+        PrimOp::Not => f64::from(a == 0.0),
+        PrimOp::Neg => -a,
+        PrimOp::Abs => a.abs(),
+        PrimOp::Sqrt => a.sqrt(),
+        PrimOp::Exp => a.exp(),
+        PrimOp::Ln => a.ln(),
+        PrimOp::Min => a.min(b),
+        PrimOp::Max => a.max(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_and_size() {
+        let e = Expr::add(Expr::mul(Expr::input(0), Expr::input(1)), Expr::lit(1.0));
+        assert_eq!(e.arity(), 2);
+        assert_eq!(e.size(), 2);
+        assert_eq!(Expr::lit(3.0).arity(), 0);
+    }
+
+    #[test]
+    fn eval_quantizes() {
+        let e = Expr::mul(Expr::input(0), Expr::input(0));
+        let x = 1.000000119; // not exactly representable squared
+        let v = e.eval(&[x], DType::F32);
+        assert_eq!(v, ((x as f32) * (x as f32)) as f64);
+    }
+
+    #[test]
+    fn mux_and_predicates() {
+        let e = Expr::mux(
+            Expr::bin(PrimOp::Lt, Expr::input(0), Expr::lit(0.0)),
+            Expr::un(PrimOp::Neg, Expr::input(0)),
+            Expr::input(0),
+        );
+        assert_eq!(e.eval(&[-3.0], DType::F32), 3.0);
+        assert_eq!(e.eval(&[4.0], DType::F32), 4.0);
+    }
+
+    #[test]
+    fn substitution_inlines_producers() {
+        // consumer: In(0) + 1; producer for In(0): In(2) * In(3)
+        let consumer = Expr::add(Expr::input(0), Expr::lit(1.0));
+        let fused = consumer.substitute(&[Expr::mul(Expr::input(2), Expr::input(3))]);
+        assert_eq!(fused.eval(&[0.0, 0.0, 2.0, 5.0], DType::F32), 11.0);
+        assert_eq!(fused.arity(), 4);
+    }
+}

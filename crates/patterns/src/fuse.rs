@@ -1,0 +1,194 @@
+//! Pattern fusion.
+//!
+//! The paper's Step 1 performs "high-level optimizations like loop
+//! fusion" before lowering to DHDL. This pass fuses producer `map`s into
+//! their consumers (map-map and map-reduce fusion): the intermediate
+//! array is never materialized off-chip, the consumer's kernel expression
+//! inlines the producer's, and the zipped input lists merge.
+
+use std::collections::BTreeMap;
+
+use crate::expr::Expr;
+use crate::ir::{ArrayId, PatternOp, PatternProgram};
+
+/// Fuse producer maps into their consumers. Intermediate arrays consumed
+/// by at least one later pattern are eliminated (not materialized);
+/// terminal arrays are kept.
+pub fn fuse(prog: &PatternProgram) -> PatternProgram {
+    // Count consumers of each array among the ops.
+    let mut consumers: BTreeMap<ArrayId, usize> = BTreeMap::new();
+    for op in prog.ops() {
+        for &a in op.ins() {
+            *consumers.entry(a).or_insert(0) += 1;
+        }
+    }
+    let mut out = PatternProgram::new();
+    // Copy array table verbatim (unused intermediates simply never get
+    // written; lowering materializes only arrays referenced by the fused
+    // ops).
+    out.arrays = prog.arrays.clone();
+    // Producer table: arrays produced by fusable maps.
+    let mut producers: BTreeMap<ArrayId, (Vec<ArrayId>, Expr)> = BTreeMap::new();
+    for op in prog.ops() {
+        let (ins, f) = inline(op.ins(), kernel_of(op), &producers);
+        match op {
+            PatternOp::Map { out: o, .. } => {
+                if consumers.get(o).copied().unwrap_or(0) > 0 {
+                    // Consumed later: fuse away, do not emit.
+                    producers.insert(*o, (ins, f));
+                } else {
+                    out.ops.push(PatternOp::Map { ins, f, out: *o });
+                }
+            }
+            PatternOp::Reduce { op: rop, out: o, .. } => {
+                out.ops.push(PatternOp::Reduce {
+                    ins,
+                    f,
+                    op: *rop,
+                    out: *o,
+                });
+            }
+            PatternOp::FilterReduce {
+                cond,
+                op: rop,
+                out: o,
+                ..
+            } => {
+                let (_, cond) = inline(op.ins(), cond.clone(), &producers);
+                out.ops.push(PatternOp::FilterReduce {
+                    ins,
+                    cond,
+                    f,
+                    op: *rop,
+                    out: *o,
+                });
+            }
+            PatternOp::GroupByReduce {
+                key,
+                op: rop,
+                groups,
+                out: o,
+                ..
+            } => {
+                let (_, key) = inline(op.ins(), key.clone(), &producers);
+                out.ops.push(PatternOp::GroupByReduce {
+                    ins,
+                    key,
+                    value: f,
+                    op: *rop,
+                    groups: *groups,
+                    out: *o,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn kernel_of(op: &PatternOp) -> Expr {
+    match op {
+        PatternOp::Map { f, .. }
+        | PatternOp::Reduce { f, .. }
+        | PatternOp::FilterReduce { f, .. } => f.clone(),
+        PatternOp::GroupByReduce { value, .. } => value.clone(),
+    }
+}
+
+/// Inline fused producers into `(ins, f)`: every input that is a fused
+/// map's output is replaced by that map's own inputs and expression.
+fn inline(
+    ins: &[ArrayId],
+    f: Expr,
+    producers: &BTreeMap<ArrayId, (Vec<ArrayId>, Expr)>,
+) -> (Vec<ArrayId>, Expr) {
+    let mut new_ins: Vec<ArrayId> = Vec::new();
+    let mut subs: Vec<Expr> = Vec::new();
+    for &a in ins {
+        if let Some((p_ins, p_expr)) = producers.get(&a) {
+            let base = new_ins.len();
+            new_ins.extend_from_slice(p_ins);
+            // Shift the producer's input indices by `base`.
+            let shift: Vec<Expr> = (0..p_ins.len()).map(|j| Expr::In(base + j)).collect();
+            subs.push(p_expr.substitute(&shift));
+        } else {
+            subs.push(Expr::In(new_ins.len()));
+            new_ins.push(a);
+        }
+    }
+    (new_ins, f.substitute(&subs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhdl_core::{DType, PrimOp, ReduceOp};
+    use std::collections::BTreeMap as Map;
+
+    /// sum((a[i]-b[i])^2): map(sub) -> map(square) -> reduce(+).
+    fn distance_program() -> PatternProgram {
+        let mut p = PatternProgram::new();
+        let a = p.input("a", 8, DType::F32);
+        let b = p.input("b", 8, DType::F32);
+        let diff = p.map("diff", &[a, b], Expr::sub(Expr::input(0), Expr::input(1)));
+        let sq = p.map("sq", &[diff], Expr::mul(Expr::input(0), Expr::input(0)));
+        p.reduce("dist", &[sq], Expr::input(0), ReduceOp::Add);
+        p
+    }
+
+    #[test]
+    fn fusion_collapses_to_single_reduce() {
+        let p = distance_program();
+        assert_eq!(p.ops().len(), 3);
+        let fused = fuse(&p);
+        assert_eq!(fused.ops().len(), 1, "{:?}", fused.ops());
+        let PatternOp::Reduce { ins, f, .. } = &fused.ops()[0] else {
+            panic!("expected a fused reduce");
+        };
+        // Inputs trace all the way back to a and b; the producer chain is
+        // inlined once even though the square references it twice.
+        assert_eq!(ins.len(), 2);
+        assert!(f.size() >= 3); // sub (x2, shared) + mul at least
+    }
+
+    #[test]
+    fn fusion_preserves_semantics() {
+        let p = distance_program();
+        let fused = fuse(&p);
+        let mut inputs = Map::new();
+        inputs.insert("a".to_string(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        inputs.insert("b".to_string(), vec![8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0]);
+        let full = p.interpret(&inputs);
+        let short = fused.interpret(&inputs);
+        assert_eq!(full["dist"], short["dist"]);
+    }
+
+    #[test]
+    fn terminal_map_is_not_fused_away() {
+        let mut p = PatternProgram::new();
+        let a = p.input("a", 4, DType::F32);
+        p.map("out", &[a], Expr::add(Expr::input(0), Expr::lit(1.0)));
+        let fused = fuse(&p);
+        assert_eq!(fused.ops().len(), 1);
+        assert!(matches!(fused.ops()[0], PatternOp::Map { .. }));
+    }
+
+    #[test]
+    fn filter_reduce_cond_is_inlined_too() {
+        let mut p = PatternProgram::new();
+        let a = p.input("a", 4, DType::F32);
+        let scaled = p.map("s", &[a], Expr::mul(Expr::input(0), Expr::lit(2.0)));
+        p.filter_reduce(
+            "sum",
+            &[scaled],
+            Expr::bin(PrimOp::Gt, Expr::input(0), Expr::lit(4.0)),
+            Expr::input(0),
+            ReduceOp::Add,
+        );
+        let fused = fuse(&p);
+        assert_eq!(fused.ops().len(), 1);
+        let mut inputs = Map::new();
+        inputs.insert("a".to_string(), vec![1.0, 2.0, 3.0, 4.0]);
+        // scaled = [2,4,6,8]; > 4 -> 6+8 = 14.
+        assert_eq!(fused.interpret(&inputs)["sum"], vec![14.0]);
+    }
+}

@@ -1,0 +1,399 @@
+//! The parallel-pattern program IR.
+//!
+//! Programs are sequences of array-level parallel patterns over named
+//! collections — the abstraction level of the paper's input languages
+//! (OptiML/Delite, §I and §III-A): `map` (over any number of zipped
+//! inputs), `reduce`, and `filterReduce` (the `filter` pattern fused with
+//! its consuming reduction, as in TPC-H Q6).
+
+use std::collections::BTreeMap;
+
+use dhdl_core::{DType, ReduceOp};
+
+use crate::expr::Expr;
+
+/// Identifier of an array within a [`PatternProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArrayId(pub(crate) usize);
+
+/// A named collection (lowered to an `OffChipMem` unless fused away).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArraySpec {
+    /// Name (also the off-chip memory name after lowering).
+    pub name: String,
+    /// Element count.
+    pub len: u64,
+    /// Element type.
+    pub ty: DType,
+    /// Whether the array is a program input (bound externally).
+    pub is_input: bool,
+}
+
+/// One parallel pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternOp {
+    /// `out[i] = f(ins[0][i], ins[1][i], ...)` — an n-ary zipWith.
+    Map {
+        /// Zipped input arrays (equal lengths).
+        ins: Vec<ArrayId>,
+        /// Per-element function.
+        f: Expr,
+        /// Output array.
+        out: ArrayId,
+    },
+    /// `out[0] = reduce(op, f(ins...[i]))`.
+    Reduce {
+        /// Zipped input arrays.
+        ins: Vec<ArrayId>,
+        /// Per-element function.
+        f: Expr,
+        /// Combining operator.
+        op: ReduceOp,
+        /// Length-1 output array.
+        out: ArrayId,
+    },
+    /// `out[0] = reduce(op, f(ins...[i]) for i where cond(ins...[i]))` —
+    /// a filter fused into its consuming reduction.
+    FilterReduce {
+        /// Zipped input arrays.
+        ins: Vec<ArrayId>,
+        /// Filter predicate.
+        cond: Expr,
+        /// Per-element value.
+        f: Expr,
+        /// Combining operator.
+        op: ReduceOp,
+        /// Length-1 output array.
+        out: ArrayId,
+    },
+    /// `out[key(x)] = reduce(op, value(x))` over all elements — a groupBy
+    /// fused with a per-group reduction (the pattern §II singles out as
+    /// hard for trace-based tools). Keys are clamped into `[0, groups)`.
+    GroupByReduce {
+        /// Zipped input arrays.
+        ins: Vec<ArrayId>,
+        /// Group index expression.
+        key: Expr,
+        /// Per-element value expression.
+        value: Expr,
+        /// Combining operator.
+        op: ReduceOp,
+        /// Number of groups (output length).
+        groups: u64,
+        /// Length-`groups` output array.
+        out: ArrayId,
+    },
+}
+
+impl PatternOp {
+    /// The output array of this op.
+    pub fn out(&self) -> ArrayId {
+        match self {
+            PatternOp::Map { out, .. }
+            | PatternOp::Reduce { out, .. }
+            | PatternOp::FilterReduce { out, .. }
+            | PatternOp::GroupByReduce { out, .. } => *out,
+        }
+    }
+
+    /// The input arrays of this op.
+    pub fn ins(&self) -> &[ArrayId] {
+        match self {
+            PatternOp::Map { ins, .. }
+            | PatternOp::Reduce { ins, .. }
+            | PatternOp::FilterReduce { ins, .. }
+            | PatternOp::GroupByReduce { ins, .. } => ins,
+        }
+    }
+}
+
+/// A straight-line program of parallel patterns.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PatternProgram {
+    pub(crate) arrays: Vec<ArraySpec>,
+    pub(crate) ops: Vec<PatternOp>,
+}
+
+impl PatternProgram {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare an input array.
+    pub fn input(&mut self, name: &str, len: u64, ty: DType) -> ArrayId {
+        self.array(name, len, ty, true)
+    }
+
+    fn array(&mut self, name: &str, len: u64, ty: DType, is_input: bool) -> ArrayId {
+        let id = ArrayId(self.arrays.len());
+        self.arrays.push(ArraySpec {
+            name: name.to_string(),
+            len,
+            ty,
+            is_input,
+        });
+        id
+    }
+
+    /// Append an n-ary map producing a new array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ins` is empty, input lengths differ, or `f` references
+    /// more inputs than given.
+    pub fn map(&mut self, name: &str, ins: &[ArrayId], f: Expr) -> ArrayId {
+        let len = self.check_zip(ins, &f);
+        let ty = self.arrays[ins[0].0].ty;
+        let out = self.array(name, len, ty, false);
+        self.ops.push(PatternOp::Map {
+            ins: ins.to_vec(),
+            f,
+            out,
+        });
+        out
+    }
+
+    /// Append a reduction producing a length-1 array.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`PatternProgram::map`].
+    pub fn reduce(&mut self, name: &str, ins: &[ArrayId], f: Expr, op: ReduceOp) -> ArrayId {
+        self.check_zip(ins, &f);
+        let ty = self.arrays[ins[0].0].ty;
+        let out = self.array(name, 1, ty, false);
+        self.ops.push(PatternOp::Reduce {
+            ins: ins.to_vec(),
+            f,
+            op,
+            out,
+        });
+        out
+    }
+
+    /// Append a filtered reduction producing a length-1 array.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`PatternProgram::map`].
+    pub fn filter_reduce(
+        &mut self,
+        name: &str,
+        ins: &[ArrayId],
+        cond: Expr,
+        f: Expr,
+        op: ReduceOp,
+    ) -> ArrayId {
+        self.check_zip(ins, &f);
+        assert!(
+            cond.arity() <= ins.len(),
+            "predicate references more inputs than given"
+        );
+        let ty = self.arrays[ins[0].0].ty;
+        let out = self.array(name, 1, ty, false);
+        self.ops.push(PatternOp::FilterReduce {
+            ins: ins.to_vec(),
+            cond,
+            f,
+            op,
+            out,
+        });
+        out
+    }
+
+    /// Append a grouped reduction producing a `groups`-element array.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`PatternProgram::map`], or if
+    /// `groups` is zero.
+    pub fn group_by_reduce(
+        &mut self,
+        name: &str,
+        ins: &[ArrayId],
+        key: Expr,
+        value: Expr,
+        op: ReduceOp,
+        groups: u64,
+    ) -> ArrayId {
+        self.check_zip(ins, &value);
+        assert!(groups > 0, "need at least one group");
+        assert!(
+            key.arity() <= ins.len(),
+            "key references more inputs than given"
+        );
+        let ty = self.arrays[ins[0].0].ty;
+        let out = self.array(name, groups, ty, false);
+        self.ops.push(PatternOp::GroupByReduce {
+            ins: ins.to_vec(),
+            key,
+            value,
+            op,
+            groups,
+            out,
+        });
+        out
+    }
+
+    fn check_zip(&self, ins: &[ArrayId], f: &Expr) -> u64 {
+        assert!(!ins.is_empty(), "patterns need at least one input");
+        let len = self.arrays[ins[0].0].len;
+        for i in ins {
+            assert_eq!(self.arrays[i.0].len, len, "zipped inputs must align");
+        }
+        assert!(
+            f.arity() <= ins.len(),
+            "kernel references more inputs than given"
+        );
+        len
+    }
+
+    /// Array metadata.
+    pub fn spec(&self, id: ArrayId) -> &ArraySpec {
+        &self.arrays[id.0]
+    }
+
+    /// The program's patterns in order.
+    pub fn ops(&self) -> &[PatternOp] {
+        &self.ops
+    }
+
+    /// Interpret the program over named input arrays: the reference
+    /// semantics every lowering must preserve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a required input is missing or has the wrong length.
+    pub fn interpret(&self, inputs: &BTreeMap<String, Vec<f64>>) -> BTreeMap<String, Vec<f64>> {
+        let mut store: Vec<Vec<f64>> = Vec::with_capacity(self.arrays.len());
+        for spec in &self.arrays {
+            if spec.is_input {
+                let data = inputs
+                    .get(&spec.name)
+                    .unwrap_or_else(|| panic!("missing input `{}`", spec.name));
+                assert_eq!(data.len() as u64, spec.len, "input `{}` length", spec.name);
+                store.push(data.iter().map(|&v| spec.ty.quantize(v)).collect());
+            } else {
+                store.push(vec![0.0; spec.len as usize]);
+            }
+        }
+        for op in &self.ops {
+            let ty = self.arrays[op.out().0].ty;
+            match op {
+                PatternOp::Map { ins, f, out } => {
+                    let len = self.arrays[ins[0].0].len as usize;
+                    let mut result = vec![0.0; len];
+                    for (i, r) in result.iter_mut().enumerate() {
+                        let x: Vec<f64> = ins.iter().map(|a| store[a.0][i]).collect();
+                        *r = f.eval(&x, ty);
+                    }
+                    store[out.0] = result;
+                }
+                PatternOp::Reduce { ins, f, op, out } => {
+                    let len = self.arrays[ins[0].0].len as usize;
+                    let mut acc = op.identity();
+                    for i in 0..len {
+                        let x: Vec<f64> = ins.iter().map(|a| store[a.0][i]).collect();
+                        acc = ty.quantize(op.apply(acc, f.eval(&x, ty)));
+                    }
+                    store[out.0] = vec![acc];
+                }
+                PatternOp::FilterReduce {
+                    ins,
+                    cond,
+                    f,
+                    op,
+                    out,
+                } => {
+                    let len = self.arrays[ins[0].0].len as usize;
+                    let mut acc = op.identity();
+                    for i in 0..len {
+                        let x: Vec<f64> = ins.iter().map(|a| store[a.0][i]).collect();
+                        if cond.eval(&x, ty) != 0.0 {
+                            acc = ty.quantize(op.apply(acc, f.eval(&x, ty)));
+                        }
+                    }
+                    store[out.0] = vec![acc];
+                }
+                PatternOp::GroupByReduce {
+                    ins,
+                    key,
+                    value,
+                    op,
+                    groups,
+                    out,
+                } => {
+                    let len = self.arrays[ins[0].0].len as usize;
+                    let mut acc = vec![op.identity(); *groups as usize];
+                    for i in 0..len {
+                        let x: Vec<f64> = ins.iter().map(|a| store[a.0][i]).collect();
+                        let k = (key.eval(&x, ty).max(0.0) as u64).min(groups - 1) as usize;
+                        acc[k] = ty.quantize(op.apply(acc[k], value.eval(&x, ty)));
+                    }
+                    store[out.0] = acc;
+                }
+            }
+        }
+        self.arrays
+            .iter()
+            .zip(store)
+            .filter(|(s, _)| !s.is_input)
+            .map(|(s, v)| (s.name.clone(), v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhdl_core::PrimOp;
+
+    #[test]
+    fn dot_product_interprets() {
+        let mut p = PatternProgram::new();
+        let a = p.input("a", 4, DType::F32);
+        let b = p.input("b", 4, DType::F32);
+        let prod = Expr::mul(Expr::input(0), Expr::input(1));
+        p.reduce("dot", &[a, b], prod, ReduceOp::Add);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("a".to_string(), vec![1.0, 2.0, 3.0, 4.0]);
+        inputs.insert("b".to_string(), vec![4.0, 3.0, 2.0, 1.0]);
+        let out = p.interpret(&inputs);
+        assert_eq!(out["dot"], vec![20.0]);
+    }
+
+    #[test]
+    fn filter_reduce_interprets() {
+        let mut p = PatternProgram::new();
+        let a = p.input("a", 5, DType::F32);
+        let cond = Expr::bin(PrimOp::Gt, Expr::input(0), Expr::lit(2.0));
+        p.filter_reduce("sum", &[a], cond, Expr::input(0), ReduceOp::Add);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("a".to_string(), vec![1.0, 3.0, 2.0, 5.0, 4.0]);
+        let out = p.interpret(&inputs);
+        assert_eq!(out["sum"], vec![12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zipped inputs must align")]
+    fn mismatched_zip_rejected() {
+        let mut p = PatternProgram::new();
+        let a = p.input("a", 4, DType::F32);
+        let b = p.input("b", 8, DType::F32);
+        p.map("m", &[a, b], Expr::add(Expr::input(0), Expr::input(1)));
+    }
+
+    #[test]
+    fn chained_maps_interpret() {
+        let mut p = PatternProgram::new();
+        let a = p.input("a", 3, DType::F32);
+        let sq = p.map("sq", &[a], Expr::mul(Expr::input(0), Expr::input(0)));
+        p.map("plus1", &[sq], Expr::add(Expr::input(0), Expr::lit(1.0)));
+        let mut inputs = BTreeMap::new();
+        inputs.insert("a".to_string(), vec![1.0, 2.0, 3.0]);
+        let out = p.interpret(&inputs);
+        assert_eq!(out["plus1"], vec![2.0, 5.0, 10.0]);
+        assert_eq!(out["sq"], vec![1.0, 4.0, 9.0]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # dhdl-patterns — the parallel-pattern frontend
+//!
+//! The "Step 1" of the paper's Figure 1: applications written with
+//! high-level parallel patterns (map, zipWith, reduce, filter) are fused
+//! and lowered onto DHDL's parameterized templates, following the
+//! explicit per-pattern generation rules of §III-A. Nodes generated from
+//! `map` replicate in parallel; nodes generated from `reduce` replicate
+//! as balanced trees with cross-tile register folds; `filter` fuses into
+//! its consuming reduction as a multiplexer.
+//!
+//! ```
+//! use dhdl_core::{DType, ReduceOp};
+//! use dhdl_patterns::{default_params, fuse, lower, Expr, PatternProgram};
+//!
+//! # fn main() -> dhdl_core::Result<()> {
+//! // sum((a - b)^2), written as three patterns...
+//! let mut p = PatternProgram::new();
+//! let a = p.input("a", 1024, DType::F32);
+//! let b = p.input("b", 1024, DType::F32);
+//! let d = p.map("d", &[a, b], Expr::sub(Expr::input(0), Expr::input(1)));
+//! let sq = p.map("sq", &[d], Expr::mul(Expr::input(0), Expr::input(0)));
+//! p.reduce("dist", &[sq], Expr::input(0), ReduceOp::Add);
+//! // ...fused into one reduction and lowered to hardware.
+//! let fused = fuse(&p);
+//! assert_eq!(fused.ops().len(), 1);
+//! let design = lower(&fused, "sqdist", &default_params(&fused))?;
+//! assert_eq!(design.name(), "sqdist");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod expr;
+mod fuse;
+mod ir;
+mod lower;
+
+pub use expr::Expr;
+pub use fuse::fuse;
+pub use ir::{ArrayId, ArraySpec, PatternOp, PatternProgram};
+pub use lower::{default_params, lower, param_space};

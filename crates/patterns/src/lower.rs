@@ -1,0 +1,300 @@
+//! Lowering parallel patterns to DHDL (§III-A).
+//!
+//! "The templates in DHDL are inspired from these well-known parallel
+//! patterns. This makes it possible to define explicit rules to generate
+//! DHDL for each parallel pattern": each pattern lowers to a tiled
+//! template skeleton — tile loads of the zipped inputs, a `Pipe` body
+//! emitted from the kernel expression (map) or a `Pipe` reduction with a
+//! cross-tile register fold (reduce / filterReduce), under an outer
+//! controller whose MetaPipe toggle, tile size and parallelization factor
+//! are the design parameters of §III-C.
+
+use dhdl_core::{by, Design, DesignBuilder, NodeId, ParamSpace, ParamValues, Result};
+
+use crate::ir::{ArrayId, PatternOp, PatternProgram};
+
+/// Declare the design parameters of a lowered program: per pattern `i`,
+/// a tile size `ts{i}`, an inner parallelization factor `ip{i}`, and a
+/// MetaPipe toggle `mp{i}`.
+pub fn param_space(prog: &PatternProgram) -> ParamSpace {
+    let mut space = ParamSpace::new();
+    for (i, op) in prog.ops().iter().enumerate() {
+        let len = prog.spec(op.ins()[0]).len;
+        space.tile(&format!("ts{i}"), len, 16.min(len), 8_192.min(len));
+        space.par(&format!("ip{i}"), 96, 16);
+        space.toggle(&format!("mp{i}"));
+    }
+    space
+}
+
+/// Default mid-range parameters for a lowered program.
+pub fn default_params(prog: &PatternProgram) -> ParamValues {
+    let mut v = ParamValues::new();
+    for (i, def) in param_space(prog).defs().iter().enumerate() {
+        let _ = i;
+        let val = match &def.kind {
+            dhdl_core::ParamKind::Toggle => 1,
+            k => {
+                let legal = k.legal_values();
+                legal[legal.len() / 2]
+            }
+        };
+        v.set(&def.name, val);
+    }
+    v
+}
+
+/// Lower a pattern program to a DHDL design instance.
+///
+/// Every input array and every (surviving) pattern output becomes an
+/// `OffChipMem` with the array's name; fused-away intermediates are never
+/// materialized.
+///
+/// # Errors
+///
+/// Returns an error if parameters are missing or the generated design is
+/// structurally invalid (which would indicate a lowering bug).
+pub fn lower(prog: &PatternProgram, name: &str, params: &ParamValues) -> Result<Design> {
+    let mut b = DesignBuilder::new(name);
+    // Materialize off-chip memories for inputs and op outputs that the
+    // fused program still references.
+    let mut mems: Vec<Option<NodeId>> = vec![None; prog.arrays.len()];
+    let mut referenced: Vec<bool> = vec![false; prog.arrays.len()];
+    for op in prog.ops() {
+        referenced[op.out().0] = true;
+        for &a in op.ins() {
+            referenced[a.0] = true;
+        }
+    }
+    for (i, spec) in prog.arrays.iter().enumerate() {
+        if referenced[i] {
+            mems[i] = Some(b.off_chip(&spec.name, spec.ty, &[spec.len]));
+        }
+    }
+    let mem = |mems: &Vec<Option<NodeId>>, a: ArrayId| mems[a.0].expect("referenced array");
+
+    // One top-level stage per pattern, in program order.
+    let ops = prog.ops().to_vec();
+    let mut err = None;
+    b.sequential(|b| {
+        for (i, op) in ops.iter().enumerate() {
+            let (Ok(ts), Ok(ip), Ok(mp)) = (
+                params.dim(&format!("ts{i}")),
+                params.par(&format!("ip{i}")),
+                params.toggle(&format!("mp{i}")),
+            ) else {
+                err = Some(dhdl_core::DhdlError::Parameter(format!(
+                    "missing parameters for pattern {i}"
+                )));
+                return;
+            };
+            let len = prog.spec(op.ins()[0]).len;
+            let ty = prog.spec(op.out()).ty;
+            let ts = ts.min(len);
+            match op {
+                PatternOp::Map { ins, f, out } => {
+                    let out_mem = mem(&mems, *out);
+                    let in_mems: Vec<NodeId> = ins.iter().map(|&a| mem(&mems, a)).collect();
+                    b.outer(mp, &[by(len, ts)], 1, |b, iters| {
+                        let base = iters[0];
+                        let tiles: Vec<NodeId> = in_mems
+                            .iter()
+                            .enumerate()
+                            .map(|(k, &m)| {
+                                let t = b.bram(&format!("in{i}_{k}"), ty, &[ts]);
+                                t_load(b, m, t, base, ts, ip);
+                                t
+                            })
+                            .collect();
+                        let ot = b.bram(&format!("out{i}"), ty, &[ts]);
+                        b.pipe(&[by(ts, 1)], ip, |b, it| {
+                            let elems: Vec<NodeId> =
+                                tiles.iter().map(|&t| b.load(t, &[it[0]])).collect();
+                            let v = f.emit(b, &elems, ty);
+                            b.store(ot, &[it[0]], v);
+                        });
+                        b.tile_store(out_mem, ot, &[base], &[ts], ip);
+                    });
+                }
+                PatternOp::Reduce { ins, f, op: rop, out }
+                | PatternOp::FilterReduce {
+                    ins, f, op: rop, out, ..
+                } => {
+                    let cond = match op {
+                        PatternOp::FilterReduce { cond, .. } => Some(cond.clone()),
+                        _ => None,
+                    };
+                    let out_mem = mem(&mems, *out);
+                    let in_mems: Vec<NodeId> = ins.iter().map(|&a| mem(&mems, a)).collect();
+                    let acc = b.reg(&format!("acc{i}"), ty, 0.0);
+                    let rop = *rop;
+                    b.outer_fold(mp, &[by(len, ts)], 1, acc, rop, |b, iters| {
+                        let base = iters[0];
+                        let tiles: Vec<NodeId> = in_mems
+                            .iter()
+                            .enumerate()
+                            .map(|(k, &m)| {
+                                let t = b.bram(&format!("in{i}_{k}"), ty, &[ts]);
+                                t_load(b, m, t, base, ts, ip);
+                                t
+                            })
+                            .collect();
+                        let partial = b.reg(&format!("part{i}"), ty, 0.0);
+                        b.pipe_reduce(&[by(ts, 1)], ip, partial, rop, |b, it| {
+                            let elems: Vec<NodeId> =
+                                tiles.iter().map(|&t| b.load(t, &[it[0]])).collect();
+                            let v = f.emit(b, &elems, ty);
+                            match &cond {
+                                Some(c) => {
+                                    let cv = c.emit(b, &elems, ty);
+                                    let ident = b.constant(rop.identity(), ty);
+                                    b.mux(cv, v, ident)
+                                }
+                                None => v,
+                            }
+                        });
+                        partial
+                    });
+                    let ot = b.bram(&format!("outb{i}"), ty, &[1]);
+                    b.pipe(&[by(1, 1)], 1, |b, it| {
+                        let v = b.load_reg(acc);
+                        b.store(ot, &[it[0]], v);
+                    });
+                    let z = b.index_const(0);
+                    b.tile_store(out_mem, ot, &[z], &[1], 1);
+                }
+                PatternOp::GroupByReduce {
+                    ins,
+                    key,
+                    value,
+                    op: rop,
+                    groups,
+                    out,
+                } => {
+                    let out_mem = mem(&mems, *out);
+                    let in_mems: Vec<NodeId> = ins.iter().map(|&a| mem(&mems, a)).collect();
+                    let groups = *groups;
+                    let rop = *rop;
+                    let gacc = b.bram(&format!("gacc{i}"), ty, &[groups]);
+                    b.outer_fold(mp, &[by(len, ts)], 1, gacc, rop, |b, iters| {
+                        let base = iters[0];
+                        let tiles: Vec<NodeId> = in_mems
+                            .iter()
+                            .enumerate()
+                            .map(|(k, &m)| {
+                                let t = b.bram(&format!("in{i}_{k}"), ty, &[ts]);
+                                t_load(b, m, t, base, ts, ip);
+                                t
+                            })
+                            .collect();
+                        let partial = b.bram(&format!("gpart{i}"), ty, &[groups]);
+                        // Reset per-tile partials to the reduction identity.
+                        b.pipe(&[by(groups, 1)], 1, |b, it| {
+                            let ident = b.constant(rop.identity(), ty);
+                            b.store(partial, &[it[0]], ident);
+                        });
+                        // Scatter-accumulate: the read-modify-write to a
+                        // key-dependent address serializes (par 1), exactly
+                        // the hazard that makes groupBy hard for static
+                        // pipelining.
+                        b.pipe(&[by(ts, 1)], 1, |b, it| {
+                            let elems: Vec<NodeId> =
+                                tiles.iter().map(|&t| b.load(t, &[it[0]])).collect();
+                            let k_raw = key.emit(b, &elems, ty);
+                            let zero = b.index_const(0);
+                            let kmax = b.index_const(groups - 1);
+                            let k_lo = b.max(k_raw, zero);
+                            let k = b.min(k_lo, kmax);
+                            let v = value.emit(b, &elems, ty);
+                            let prev = b.load(partial, &[k]);
+                            let combined = b.prim(rop.prim(), &[prev, v]);
+                            b.store(partial, &[k], combined);
+                        });
+                        partial
+                    });
+                    let z = b.index_const(0);
+                    b.tile_store(out_mem, gacc, &[z], &[groups], 1);
+                }
+            }
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    b.finish()
+}
+
+fn t_load(b: &mut DesignBuilder, m: NodeId, t: NodeId, base: NodeId, ts: u64, ip: u32) {
+    b.tile_load(m, t, &[base], &[ts], ip);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::fuse::fuse;
+    use dhdl_core::{DType, NodeKind, PrimOp};
+
+    fn saxpy_program(n: u64) -> PatternProgram {
+        let mut p = PatternProgram::new();
+        let x = p.input("x", n, DType::F32);
+        let y = p.input("y", n, DType::F32);
+        let ax = p.map(
+            "ax",
+            &[x],
+            Expr::mul(Expr::lit(2.5), Expr::input(0)),
+        );
+        p.map("out", &[ax, y], Expr::add(Expr::input(0), Expr::input(1)));
+        p
+    }
+
+    #[test]
+    fn lowered_design_builds() {
+        let p = saxpy_program(256);
+        let d = lower(&p, "saxpy_pat", &default_params(&p)).unwrap();
+        assert_eq!(d.name(), "saxpy_pat");
+        assert!(d.offchips().len() >= 3);
+    }
+
+    #[test]
+    fn fusion_shrinks_lowered_design() {
+        let p = saxpy_program(256);
+        let fused = fuse(&p);
+        let d_full = lower(&p, "full", &default_params(&p)).unwrap();
+        let d_fused = lower(&fused, "fused", &default_params(&fused)).unwrap();
+        // The fused program has one pattern instead of two: fewer
+        // controllers and no materialized intermediate.
+        assert!(d_fused.controllers().len() < d_full.controllers().len());
+        let xfers = |d: &Design| {
+            d.find_all(|n| matches!(n.kind, NodeKind::TileLoad(_) | NodeKind::TileStore(_)))
+                .len()
+        };
+        assert!(xfers(&d_fused) < xfers(&d_full));
+        // The fused program no longer materializes `ax` off-chip.
+        assert!(d_fused.offchip_by_name("ax").is_err());
+    }
+
+    #[test]
+    fn param_space_covers_every_pattern() {
+        let p = saxpy_program(512);
+        let space = param_space(&p);
+        assert_eq!(space.defs().len(), 3 * p.ops().len());
+        assert!(space.is_legal(&default_params(&p)));
+    }
+
+    #[test]
+    fn filter_reduce_lowers_to_mux() {
+        let mut p = PatternProgram::new();
+        let a = p.input("a", 64, DType::F32);
+        p.filter_reduce(
+            "sum",
+            &[a],
+            Expr::bin(PrimOp::Gt, Expr::input(0), Expr::lit(0.0)),
+            Expr::input(0),
+            dhdl_core::ReduceOp::Add,
+        );
+        let d = lower(&p, "fr", &default_params(&p)).unwrap();
+        let muxes = d.find_all(|n| matches!(n.kind, NodeKind::Mux { .. }));
+        assert!(!muxes.is_empty());
+    }
+}

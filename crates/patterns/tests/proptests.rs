@@ -1,0 +1,91 @@
+//! Property tests for the pattern frontend: fusion preserves semantics for
+//! randomly generated expression chains, and arity/size bookkeeping holds
+//! under substitution.
+
+use dhdl_core::{DType, PrimOp, ReduceOp};
+use dhdl_patterns::{fuse, Expr, PatternProgram};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// NaN-safe op pool for random kernels.
+const OPS: &[PrimOp] = &[
+    PrimOp::Add,
+    PrimOp::Sub,
+    PrimOp::Mul,
+    PrimOp::Min,
+    PrimOp::Max,
+];
+
+fn random_expr(choices: &[u8], consts: &[f64], arity: usize) -> Expr {
+    let mut e = Expr::input(0);
+    for (i, &c) in choices.iter().enumerate() {
+        let op = OPS[c as usize % OPS.len()];
+        let rhs = if c % 2 == 0 {
+            Expr::input((i + 1) % arity.max(1))
+        } else {
+            Expr::lit(consts[i % consts.len()])
+        };
+        e = Expr::bin(op, e, rhs);
+    }
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fusing a random map-map-reduce chain never changes the final
+    /// reduction value.
+    #[test]
+    fn fusion_preserves_random_chains(
+        choices1 in prop::collection::vec(0u8..10, 1..6),
+        choices2 in prop::collection::vec(0u8..10, 1..6),
+        consts in prop::collection::vec(-4.0f64..4.0, 3),
+        data in prop::collection::vec(-16.0f64..16.0, 8..64)
+    ) {
+        let n = data.len() as u64;
+        let mut p = PatternProgram::new();
+        let a = p.input("a", n, DType::F32);
+        let b = p.input("b", n, DType::F32);
+        let m1 = p.map("m1", &[a, b], random_expr(&choices1, &consts, 2));
+        let m2 = p.map("m2", &[m1, a], random_expr(&choices2, &consts, 2));
+        p.reduce("out", &[m2], Expr::input(0), ReduceOp::Add);
+        let fused = fuse(&p);
+        prop_assert!(fused.ops().len() < p.ops().len());
+        let mut inputs = BTreeMap::new();
+        let f32data: Vec<f64> = data.iter().map(|&v| v as f32 as f64).collect();
+        inputs.insert("a".to_string(), f32data.clone());
+        inputs.insert("b".to_string(), f32data.iter().rev().cloned().collect());
+        let full = p.interpret(&inputs);
+        let short = fused.interpret(&inputs);
+        prop_assert_eq!(&full["out"], &short["out"]);
+    }
+
+    /// Substitution arity arithmetic: substituting expressions of arity k
+    /// into a kernel yields arity <= k (inputs can only come from the
+    /// substitutes).
+    #[test]
+    fn substitution_bounds_arity(
+        choices in prop::collection::vec(0u8..10, 1..8),
+        consts in prop::collection::vec(-2.0f64..2.0, 3),
+        k in 1usize..5
+    ) {
+        let e = random_expr(&choices, &consts, 2);
+        let subs: Vec<Expr> = (0..2).map(|_| random_expr(&choices, &consts, k)).collect();
+        let sub = e.substitute(&subs);
+        prop_assert!(sub.arity() <= k);
+        // Size grows at most multiplicatively.
+        prop_assert!(sub.size() <= e.size() * (subs[0].size() + 1) + subs.iter().map(Expr::size).sum::<usize>());
+    }
+
+    /// Interpretation only depends on referenced inputs.
+    #[test]
+    fn eval_ignores_unused_inputs(
+        x in -100.0f64..100.0,
+        junk in -100.0f64..100.0
+    ) {
+        let e = Expr::mul(Expr::input(0), Expr::lit(2.0));
+        let a = e.eval(&[x, junk], DType::F32);
+        let b = e.eval(&[x, -junk], DType::F32);
+        prop_assert_eq!(a, b);
+    }
+}

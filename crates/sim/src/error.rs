@@ -1,0 +1,81 @@
+//! Simulation errors.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use dhdl_core::NodeId;
+
+/// Error raised while simulating a design.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// An off-chip memory was not bound to input data.
+    MissingBinding(String),
+    /// Bound data has the wrong length for its memory.
+    ShapeMismatch {
+        /// Memory name.
+        name: String,
+        /// Expected element count.
+        expected: u64,
+        /// Provided element count.
+        actual: usize,
+    },
+    /// A memory access evaluated to an out-of-range address.
+    OutOfBounds {
+        /// The memory node.
+        mem: NodeId,
+        /// The flattened index.
+        index: i64,
+        /// The memory size.
+        size: u64,
+    },
+    /// The graph referenced a value that was never computed.
+    Unevaluated(NodeId),
+    /// Malformed design reached the simulator (validation should prevent
+    /// this).
+    Malformed(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingBinding(name) => {
+                write!(f, "off-chip memory `{name}` has no bound data")
+            }
+            SimError::ShapeMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "off-chip memory `{name}` expects {expected} elements, got {actual}"
+            ),
+            SimError::OutOfBounds { mem, index, size } => {
+                write!(f, "access to {mem} at flattened index {index}, size {size}")
+            }
+            SimError::Unevaluated(id) => write!(f, "node {id} used before evaluation"),
+            SimError::Malformed(msg) => write!(f, "malformed design: {msg}"),
+        }
+    }
+}
+
+impl StdError for SimError {}
+
+/// Result alias for simulator operations.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = SimError::ShapeMismatch {
+            name: "x".into(),
+            expected: 10,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("expects 10"));
+        let e = SimError::MissingBinding("y".into());
+        assert!(e.to_string().contains('y'));
+    }
+}

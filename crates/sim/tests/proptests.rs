@@ -1,0 +1,112 @@
+//! Property tests for the simulator: determinism, MetaPipe dominance,
+//! tile-transfer roundtrips and reduction equivalence on arbitrary data.
+
+use dhdl_core::{by, DType, Design, DesignBuilder};
+use dhdl_sim::{simulate, Bindings};
+use dhdl_target::Platform;
+use proptest::prelude::*;
+
+fn streaming(n: u64, tile: u64, par: u32, toggle: bool) -> Design {
+    let mut b = DesignBuilder::new("s");
+    let x = b.off_chip("x", DType::F32, &[n]);
+    let y = b.off_chip("y", DType::F32, &[n]);
+    b.sequential(|b| {
+        b.outer(toggle, &[by(n, tile)], 1, |b, iters| {
+            let i = iters[0];
+            let xt = b.bram("xT", DType::F32, &[tile]);
+            let yt = b.bram("yT", DType::F32, &[tile]);
+            b.tile_load(x, xt, &[i], &[tile], par);
+            b.pipe(&[by(tile, 1)], par, |b, it| {
+                let v = b.load(xt, &[it[0]]);
+                let w = b.abs(v);
+                b.store(yt, &[it[0]], w);
+            });
+            b.tile_store(y, yt, &[i], &[tile], par);
+        });
+    });
+    b.finish().expect("valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Simulation is deterministic and functionally exact for arbitrary
+    /// data and tilings.
+    #[test]
+    fn streaming_roundtrip_is_exact(
+        tile_pow in 3u32..7,
+        tiles in 1u64..6,
+        par_pow in 0u32..3,
+        data_seed in 0u64..1000
+    ) {
+        let tile = 1u64 << tile_pow;
+        let n = tile * tiles;
+        let d = streaming(n, tile, 1 << par_pow, true);
+        let data: Vec<f64> = (0..n)
+            .map(|i| ((((i + data_seed) * 97) % 41) as f64 - 20.0) as f32 as f64)
+            .collect();
+        let p = Platform::maia();
+        let bind = Bindings::new().bind("x", data.clone());
+        let r1 = simulate(&d, &p, &bind).expect("simulates");
+        let r2 = simulate(&d, &p, &bind).expect("simulates");
+        prop_assert_eq!(r1.cycles, r2.cycles);
+        let out = r1.output("y").expect("y");
+        for (o, x) in out.iter().zip(&data) {
+            prop_assert_eq!(*o, x.abs());
+        }
+    }
+
+    /// A MetaPipe never runs slower than the equivalent Sequential on the
+    /// same workload (overlap can only help).
+    #[test]
+    fn metapipe_dominates_sequential(
+        tile_pow in 4u32..8,
+        tiles in 2u64..8,
+        par_pow in 0u32..3
+    ) {
+        let tile = 1u64 << tile_pow;
+        let n = tile * tiles;
+        let par = 1 << par_pow;
+        let p = Platform::maia();
+        let seq = simulate(&streaming(n, tile, par, false), &p, &Bindings::new())
+            .expect("simulates");
+        let meta = simulate(&streaming(n, tile, par, true), &p, &Bindings::new())
+            .expect("simulates");
+        prop_assert!(
+            meta.cycles <= seq.cycles + 1e-6,
+            "meta {} > seq {}",
+            meta.cycles,
+            seq.cycles
+        );
+    }
+
+    /// More parallel lanes never slow a compute-heavy design down.
+    #[test]
+    fn parallelism_is_monotone(tile_pow in 5u32..8, par_pow in 0u32..3) {
+        let tile = 1u64 << tile_pow;
+        let p = Platform::maia();
+        let narrow = simulate(&streaming(tile * 4, tile, 1 << par_pow, true), &p, &Bindings::new())
+            .expect("simulates");
+        let wide = simulate(
+            &streaming(tile * 4, tile, 1 << (par_pow + 1), true),
+            &p,
+            &Bindings::new(),
+        )
+        .expect("simulates");
+        prop_assert!(wide.cycles <= narrow.cycles + 1e-6);
+    }
+
+    /// The activity trace is consistent: events end after they start, and
+    /// nothing ends after the reported total.
+    #[test]
+    fn trace_is_well_formed(tile_pow in 3u32..6, tiles in 1u64..5) {
+        let tile = 1u64 << tile_pow;
+        let d = streaming(tile * tiles, tile, 1, true);
+        let r = simulate(&d, &Platform::maia(), &Bindings::new()).expect("simulates");
+        for e in r.trace().events() {
+            prop_assert!(e.end >= e.start);
+            prop_assert!(e.end <= r.cycles + 1e-6);
+        }
+        prop_assert!(!r.trace().is_empty());
+    }
+}

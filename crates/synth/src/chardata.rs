@@ -1,0 +1,372 @@
+//! Template characterization data.
+//!
+//! Per-template area and latency models as a function of template
+//! parameters, playing the role of the paper's characterization database:
+//! "We obtain characterization data by synthesizing multiple instances of
+//! each template instantiated for combinations of its parameters ... Since
+//! template models are application-independent, each needs only be
+//! characterized once for a given target device and logic synthesis
+//! toolchain" (§IV-B).
+//!
+//! The numbers below model a Stratix-V-class fabric at a 150 MHz clock:
+//! single-precision floating point is built from ALMs (no hard FP), 27×27
+//! multipliers map to DSP blocks, and wide fixed-point adders ride carry
+//! chains (which cannot share ALMs, hence "unpackable").
+
+use dhdl_core::{DType, PrimOp};
+use dhdl_target::{FpgaTarget, Resources};
+
+/// Characterized cost of one template instance: resources and pipeline
+/// latency in fabric cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpCost {
+    /// FPGA resources of one lane.
+    pub res: Resources,
+    /// Pipeline latency in cycles at the characterized fabric clock.
+    pub latency: u64,
+}
+
+fn cost(lut_p: f64, lut_u: f64, regs: f64, dsps: f64, latency: u64) -> OpCost {
+    OpCost {
+        res: Resources {
+            lut_packable: lut_p,
+            lut_unpackable: lut_u,
+            regs,
+            dsps,
+            brams: 0.0,
+        },
+        latency,
+    }
+}
+
+/// Characterized cost of one lane of a primitive operation on element type
+/// `ty` (§III-B1: every primitive is a vector op; multiply by the vector
+/// width for the full cost).
+pub fn prim_cost(op: PrimOp, ty: DType) -> OpCost {
+    let w = f64::from(ty.bits());
+    if ty.is_float() {
+        // Single-precision models; f64 scales by width ratio.
+        let s = w / 32.0;
+        let c = match op {
+            PrimOp::Add | PrimOp::Sub => cost(390.0, 160.0, 510.0, 0.0, 3),
+            PrimOp::Mul => cost(110.0, 40.0, 165.0, 1.0, 4),
+            PrimOp::Div => cost(620.0, 280.0, 1350.0, 0.0, 14),
+            PrimOp::Rem => cost(700.0, 320.0, 1500.0, 0.0, 16),
+            PrimOp::Sqrt => cost(310.0, 140.0, 700.0, 0.0, 14),
+            PrimOp::Exp => cost(480.0, 210.0, 820.0, 4.0, 17),
+            PrimOp::Ln => cost(540.0, 230.0, 900.0, 4.0, 19),
+            PrimOp::Lt
+            | PrimOp::Le
+            | PrimOp::Gt
+            | PrimOp::Ge
+            | PrimOp::Eq
+            | PrimOp::Ne => cost(62.0, 12.0, 40.0, 0.0, 1),
+            PrimOp::Min | PrimOp::Max => cost(95.0, 25.0, 72.0, 0.0, 2),
+            PrimOp::Abs | PrimOp::Neg => cost(2.0, 0.0, 2.0, 0.0, 1),
+            PrimOp::And | PrimOp::Or | PrimOp::Not => cost(1.0, 0.0, 1.0, 0.0, 1),
+        };
+        OpCost {
+            res: c.res.times(s),
+            latency: c.latency,
+        }
+    } else {
+        // Fixed-point / boolean.
+        match op {
+            PrimOp::Add | PrimOp::Sub => cost(0.0, w / 2.0, w, 0.0, 1),
+            PrimOp::Mul => {
+                let dsps = (ty.bits().div_ceil(27) as f64).powi(2);
+                cost(w / 4.0, 0.0, w, dsps, 3)
+            }
+            PrimOp::Div | PrimOp::Rem => cost(w * 4.0, w * 2.0, w * 8.0, 0.0, ty.bits() as u64 / 2),
+            PrimOp::Sqrt => cost(w * 2.0, w, w * 4.0, 0.0, ty.bits() as u64 / 2),
+            PrimOp::Exp | PrimOp::Ln => cost(w * 6.0, w * 2.0, w * 8.0, 2.0, 12),
+            PrimOp::Lt
+            | PrimOp::Le
+            | PrimOp::Gt
+            | PrimOp::Ge
+            | PrimOp::Eq
+            | PrimOp::Ne => cost(w / 2.0, 2.0, 4.0, 0.0, 1),
+            PrimOp::Min | PrimOp::Max => cost(w, 2.0, w, 0.0, 1),
+            PrimOp::Abs | PrimOp::Neg => cost(w / 2.0, 0.0, w / 2.0, 0.0, 1),
+            PrimOp::And | PrimOp::Or | PrimOp::Not => cost(w.max(1.0) / 2.0, 0.0, 1.0, 0.0, 1),
+        }
+    }
+}
+
+/// Cost of one lane of a 2:1 multiplexer on `ty`.
+pub fn mux_cost(ty: DType) -> OpCost {
+    cost(f64::from(ty.bits()) / 2.0, 0.0, f64::from(ty.bits()) / 4.0, 0.0, 1)
+}
+
+/// Cost of one lane of an on-chip load/store port: address decode plus the
+/// bank crossbar share for a memory with `banks` banks.
+pub fn access_cost(ty: DType, banks: u32) -> OpCost {
+    let w = f64::from(ty.bits());
+    let xbar = (f64::from(banks).log2().max(0.0) + 1.0) * w / 4.0;
+    cost(14.0 + xbar, 4.0, 18.0 + w / 2.0, 0.0, 1)
+}
+
+/// Resources of a BRAM template instance: `banks` physical banks each
+/// holding `elements / banks` words of `word_bits`, doubled when
+/// double-buffered, plus per-bank control.
+pub fn bram_cost(
+    target: &FpgaTarget,
+    elements: u64,
+    word_bits: u32,
+    banks: u32,
+    double_buf: bool,
+) -> Resources {
+    let banks = banks.max(1);
+    let words_per_bank = elements.div_ceil(u64::from(banks));
+    let copies = if double_buf { 2 } else { 1 };
+    let phys = target.brams_for(words_per_bank, word_bits) * u64::from(banks) * copies;
+    Resources {
+        lut_packable: 11.0 * f64::from(banks),
+        lut_unpackable: 3.0 * f64::from(banks),
+        regs: 24.0 * f64::from(banks) + if double_buf { 18.0 } else { 0.0 },
+        dsps: 0.0,
+        brams: phys as f64,
+    }
+}
+
+/// Resources of a `Reg` template instance.
+pub fn reg_cost(ty: DType, double_buf: bool) -> Resources {
+    let w = f64::from(ty.bits());
+    Resources {
+        lut_packable: 2.0,
+        lut_unpackable: 0.0,
+        regs: w * if double_buf { 2.0 } else { 1.0 } + 4.0,
+        dsps: 0.0,
+        brams: 0.0,
+    }
+}
+
+/// Resources of a priority-queue template of the given depth.
+pub fn pqueue_cost(target: &FpgaTarget, ty: DType, depth: u64, double_buf: bool) -> Resources {
+    let w = f64::from(ty.bits());
+    let stages = (depth as f64).log2().ceil().max(1.0);
+    let copies = if double_buf { 2.0 } else { 1.0 };
+    Resources {
+        lut_packable: stages * w * 1.5,
+        lut_unpackable: stages * w * 0.5,
+        regs: stages * w * 2.0,
+        dsps: 0.0,
+        brams: target.brams_for(depth, ty.bits()) as f64 * copies,
+    }
+}
+
+/// Resources of one counter-chain dimension.
+pub fn counter_cost() -> Resources {
+    Resources {
+        lut_packable: 16.0,
+        lut_unpackable: 8.0,
+        regs: 34.0,
+        dsps: 0.0,
+        brams: 0.0,
+    }
+}
+
+/// Control-logic resources of a controller template with `n_stages`
+/// children (valid/done handshaking, stage enables).
+pub fn controller_cost(kind: ControllerKind, n_stages: usize) -> Resources {
+    let n = n_stages as f64;
+    match kind {
+        ControllerKind::Pipe => Resources {
+            lut_packable: 28.0,
+            lut_unpackable: 10.0,
+            regs: 30.0,
+            dsps: 0.0,
+            brams: 0.0,
+        },
+        ControllerKind::MetaPipe => Resources {
+            lut_packable: 52.0 + 24.0 * n,
+            lut_unpackable: 22.0 + 6.0 * n,
+            regs: 58.0 + 30.0 * n,
+            dsps: 0.0,
+            brams: 0.0,
+        },
+        ControllerKind::Sequential => Resources {
+            lut_packable: 34.0 + 10.0 * n,
+            lut_unpackable: 14.0 + 3.0 * n,
+            regs: 40.0 + 12.0 * n,
+            dsps: 0.0,
+            brams: 0.0,
+        },
+        ControllerKind::Parallel => Resources {
+            lut_packable: 20.0 + 7.0 * n,
+            lut_unpackable: 8.0 + 2.0 * n,
+            regs: 24.0 + 8.0 * n,
+            dsps: 0.0,
+            brams: 0.0,
+        },
+    }
+}
+
+/// Controller classes with distinct control costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerKind {
+    /// Innermost pipeline control.
+    Pipe,
+    /// Coarse-grained pipeline with asynchronous handshaking.
+    MetaPipe,
+    /// Unpipelined stage sequencer.
+    Sequential,
+    /// Fork-join container.
+    Parallel,
+}
+
+/// Resources of a tile load/store command generator: command and data
+/// queues plus address generation, with `par` on-chip port lanes moving
+/// elements of `word_bits` bits over `ndims` address dimensions.
+pub fn tile_unit_cost(target: &FpgaTarget, word_bits: u32, ndims: usize, par: u32) -> Resources {
+    let data_fifo = target.brams_for(512, 32.max(word_bits)) as f64;
+    let cmd_fifo = 1.0;
+    Resources {
+        lut_packable: 190.0 + 62.0 * ndims as f64 + 24.0 * f64::from(par),
+        lut_unpackable: 85.0 + 20.0 * ndims as f64,
+        regs: 260.0 + 70.0 * ndims as f64 + 30.0 * f64::from(par),
+        dsps: 0.0,
+        brams: data_fifo + cmd_fifo,
+    }
+}
+
+/// Reduction-tree cost for combining `par` lanes of type `ty` with one
+/// combiner `op` per tree node (`par - 1` nodes in a balanced tree).
+pub fn reduce_tree_cost(op: PrimOp, ty: DType, par: u32) -> Resources {
+    if par <= 1 {
+        return Resources::zero();
+    }
+    prim_cost(op, ty).res.times(f64::from(par - 1))
+}
+
+/// Latency in cycles of a balanced reduction tree over `par` lanes.
+pub fn reduce_tree_latency(op: PrimOp, ty: DType, par: u32) -> u64 {
+    if par <= 1 {
+        return 0;
+    }
+    let depth = (f64::from(par)).log2().ceil() as u64;
+    depth * prim_cost(op, ty).latency
+}
+
+/// Delay lines longer than this many cycles are implemented in block RAM
+/// rather than register chains (§IV-B2: "Delays over a synthesis
+/// tool-specific threshold are modeled as block RAMs").
+pub const DELAY_BRAM_THRESHOLD: u64 = 32;
+
+/// Resources of a delay line of `cycles` cycles and `bits` width.
+pub fn delay_cost(target: &FpgaTarget, cycles: u64, bits: u32) -> Resources {
+    if cycles == 0 || bits == 0 {
+        return Resources::zero();
+    }
+    if cycles > DELAY_BRAM_THRESHOLD {
+        Resources {
+            lut_packable: 8.0,
+            lut_unpackable: 2.0,
+            regs: 12.0,
+            dsps: 0.0,
+            brams: target.brams_for(cycles, bits) as f64,
+        }
+    } else {
+        Resources {
+            lut_packable: 0.0,
+            lut_unpackable: 0.0,
+            regs: (cycles * u64::from(bits)) as f64,
+            dsps: 0.0,
+            brams: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_add_uses_no_dsp_float_mul_uses_one() {
+        let add = prim_cost(PrimOp::Add, DType::F32);
+        assert_eq!(add.res.dsps, 0.0);
+        assert!(add.res.luts() > 100.0);
+        let mul = prim_cost(PrimOp::Mul, DType::F32);
+        assert_eq!(mul.res.dsps, 1.0);
+        assert!(mul.latency >= add.latency);
+    }
+
+    #[test]
+    fn f64_scales_up_from_f32() {
+        let a32 = prim_cost(PrimOp::Add, DType::F32);
+        let a64 = prim_cost(PrimOp::Add, DType::F64);
+        assert!(a64.res.luts() > a32.res.luts());
+    }
+
+    #[test]
+    fn fixed_mul_dsp_count_by_width() {
+        let m32 = prim_cost(PrimOp::Mul, DType::i32());
+        assert_eq!(m32.res.dsps, 4.0); // ceil(32/27)^2
+        let m16 = prim_cost(PrimOp::Mul, DType::fixed(true, 7, 8));
+        assert_eq!(m16.res.dsps, 1.0);
+    }
+
+    #[test]
+    fn complex_ops_are_multicycle() {
+        for op in [PrimOp::Div, PrimOp::Sqrt, PrimOp::Exp, PrimOp::Ln] {
+            assert!(prim_cost(op, DType::F32).latency > 4, "{op}");
+        }
+    }
+
+    #[test]
+    fn bram_cost_doubles_when_double_buffered() {
+        let t = FpgaTarget::stratix_v();
+        let single = bram_cost(&t, 512, 32, 1, false);
+        let double = bram_cost(&t, 512, 32, 1, true);
+        assert_eq!(double.brams, single.brams * 2.0);
+    }
+
+    #[test]
+    fn banking_splits_into_physical_brams() {
+        let t = FpgaTarget::stratix_v();
+        // 512 words in 4 banks of 128: each bank still needs one M20K.
+        let banked = bram_cost(&t, 512, 32, 4, false);
+        assert_eq!(banked.brams, 4.0);
+        // Under-utilization of BRAM capacity with increased banking (§V-C1).
+        let flat = bram_cost(&t, 512, 32, 1, false);
+        assert!(banked.brams > flat.brams);
+    }
+
+    #[test]
+    fn reduce_tree_scales() {
+        assert_eq!(reduce_tree_cost(PrimOp::Add, DType::F32, 1).luts(), 0.0);
+        let t4 = reduce_tree_cost(PrimOp::Add, DType::F32, 4);
+        let t8 = reduce_tree_cost(PrimOp::Add, DType::F32, 8);
+        assert!(t8.luts() > t4.luts());
+        assert_eq!(reduce_tree_latency(PrimOp::Add, DType::F32, 8), 9); // 3 levels * 3 cycles
+        assert_eq!(reduce_tree_latency(PrimOp::Add, DType::F32, 1), 0);
+    }
+
+    #[test]
+    fn long_delays_become_brams() {
+        let t = FpgaTarget::stratix_v();
+        let short = delay_cost(&t, 8, 32);
+        assert_eq!(short.brams, 0.0);
+        assert_eq!(short.regs, 256.0);
+        let long = delay_cost(&t, 64, 32);
+        assert!(long.brams >= 1.0);
+        assert_eq!(delay_cost(&t, 0, 32).regs, 0.0);
+    }
+
+    #[test]
+    fn controller_costs_grow_with_stages() {
+        let a = controller_cost(ControllerKind::MetaPipe, 2);
+        let b = controller_cost(ControllerKind::MetaPipe, 5);
+        assert!(b.luts() > a.luts());
+        // MetaPipe handshaking costs more than Sequential sequencing.
+        let s = controller_cost(ControllerKind::Sequential, 5);
+        assert!(b.luts() > s.luts());
+    }
+
+    #[test]
+    fn access_cost_grows_with_banks() {
+        let one = access_cost(DType::F32, 1);
+        let eight = access_cost(DType::F32, 8);
+        assert!(eight.res.luts() > one.res.luts());
+    }
+}

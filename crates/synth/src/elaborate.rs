@@ -1,0 +1,405 @@
+//! Design elaboration: flattening a DHDL design instance into raw resource
+//! counts using the characterized template models.
+//!
+//! This is the "counting the resource requirements of each node using their
+//! pre-characterized area models" step of §IV-B2, shared by the estimator
+//! (as its raw area pass) and by the synthesis model (as the input to
+//! place-and-route). Replication from parallelization factors, reduction
+//! trees, and delay-balancing registers (ASAP schedule) are all applied
+//! here.
+
+use std::collections::BTreeMap;
+
+use dhdl_core::{Design, DesignStats, NodeId, NodeKind, Pattern, PipeSpec};
+use dhdl_target::{FpgaTarget, Resources};
+
+use crate::chardata::{
+    access_cost, bram_cost, controller_cost, counter_cost, delay_cost, mux_cost, pqueue_cost,
+    prim_cost, reduce_tree_cost, reg_cost, tile_unit_cost, ControllerKind,
+};
+
+/// Structural features of an elaborated netlist, used by the
+/// place-and-route model and (via calibration samples) by the estimator's
+/// correction networks.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NetFeatures {
+    /// Primitive node instances after replication (physical lanes).
+    pub prims: f64,
+    /// On-chip memory instances.
+    pub mems: f64,
+    /// Controller instances.
+    pub ctrls: f64,
+    /// Maximum controller nesting depth.
+    pub depth: f64,
+    /// Dataflow edges after replication.
+    pub edges: f64,
+    /// Average vector width of primitives.
+    pub avg_width: f64,
+}
+
+/// Raw resources attributed to template classes — the per-class area
+/// breakdown used for reporting and bottleneck attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaBreakdown {
+    /// Primitive datapath (arithmetic, muxes, loads/stores, reduce trees).
+    pub primitives: Resources,
+    /// On-chip memories (BRAMs, registers, queues).
+    pub memories: Resources,
+    /// Controller and counter logic.
+    pub control: Resources,
+    /// Off-chip tile transfer units (command generators, FIFOs).
+    pub transfers: Resources,
+    /// Delay-balancing registers/BRAMs from the ASAP schedule.
+    pub delays: Resources,
+}
+
+impl AreaBreakdown {
+    /// Sum of all classes (equals the netlist's raw resources).
+    pub fn total(&self) -> Resources {
+        self.primitives
+            .plus(&self.memories)
+            .plus(&self.control)
+            .plus(&self.transfers)
+            .plus(&self.delays)
+    }
+}
+
+/// An elaborated design: raw resources plus netlist features.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Netlist {
+    /// Raw resource requirements before any low-level tool effects.
+    pub raw: Resources,
+    /// Per-template-class attribution of `raw`.
+    pub breakdown: AreaBreakdown,
+    /// Netlist structure features.
+    pub features: NetFeatures,
+}
+
+/// Elaborate a design into raw resource counts on `target`.
+pub fn elaborate(design: &Design, target: &FpgaTarget) -> Netlist {
+    let mut acc = Acc::default();
+    visit(design, target, design.top(), 1.0, &mut acc);
+    let stats = DesignStats::of(design);
+    Netlist {
+        raw: acc.breakdown.total(),
+        breakdown: acc.breakdown,
+        features: NetFeatures {
+            prims: acc.phys_prims.max(1.0),
+            mems: stats.memories as f64,
+            ctrls: stats.controllers as f64,
+            depth: stats.depth as f64,
+            edges: acc.edges,
+            avg_width: stats.avg_width(),
+        },
+    }
+}
+
+#[derive(Debug, Default)]
+struct Acc {
+    breakdown: AreaBreakdown,
+    edges: f64,
+    phys_prims: f64,
+}
+
+fn visit(design: &Design, target: &FpgaTarget, ctrl: NodeId, rep: f64, acc: &mut Acc) {
+    match design.kind(ctrl) {
+        NodeKind::Pipe(p) => {
+            acc.breakdown.control += counter_cost().times(p.ctr.dims.len() as f64 * rep);
+            acc.breakdown.control += controller_cost(ControllerKind::Pipe, 0).times(rep);
+            let (datapath, delays) = pipe_body_resources(design, target, ctrl, p);
+            acc.breakdown.primitives += datapath.times(rep);
+            acc.breakdown.delays += delays.times(rep);
+            acc.edges += body_edges(design, p) * rep * f64::from(p.par);
+            acc.phys_prims += p.body.len() as f64 * rep * f64::from(p.par);
+        }
+        NodeKind::MetaPipe(s) | NodeKind::Sequential(s) => {
+            let is_meta = matches!(design.kind(ctrl), NodeKind::MetaPipe(_));
+            let kind = if is_meta {
+                ControllerKind::MetaPipe
+            } else {
+                ControllerKind::Sequential
+            };
+            acc.breakdown.control += counter_cost().times(s.ctr.dims.len() as f64 * rep);
+            acc.breakdown.control += controller_cost(kind, s.stages.len()).times(rep);
+            let child_rep = rep * f64::from(s.par);
+            for &m in &s.locals {
+                acc.breakdown.memories += memory_resources(design, target, m).times(child_rep);
+            }
+            for &st in &s.stages {
+                visit(design, target, st, child_rep, acc);
+            }
+            if let Some(f) = &s.fold {
+                // The implicit fold stage: one combiner lane per port lane,
+                // plus read/modify/write ports on the accumulator.
+                let ty = design.ty(f.accum);
+                let op = f.op.prim();
+                acc.breakdown.primitives += prim_cost(op, ty).res.times(child_rep);
+                acc.breakdown.primitives += access_cost(ty, 1).res.times(2.0 * child_rep);
+            }
+        }
+        NodeKind::ParallelCtrl { stages, locals } => {
+            acc.breakdown.control +=
+                controller_cost(ControllerKind::Parallel, stages.len()).times(rep);
+            for &m in locals {
+                acc.breakdown.memories += memory_resources(design, target, m).times(rep);
+            }
+            for &st in stages {
+                visit(design, target, st, rep, acc);
+            }
+        }
+        NodeKind::TileLoad(t) | NodeKind::TileStore(t) => {
+            let ty = design.ty(t.offchip);
+            acc.breakdown.transfers +=
+                tile_unit_cost(target, ty.bits(), t.tile.len(), t.par).times(rep);
+        }
+        _ => {}
+    }
+}
+
+fn memory_resources(design: &Design, target: &FpgaTarget, mem: NodeId) -> Resources {
+    let node = design.node(mem);
+    match &node.kind {
+        NodeKind::Bram(b) => bram_cost(
+            target,
+            b.elements(),
+            b.word_width,
+            b.banks,
+            b.double_buf,
+        ),
+        NodeKind::Reg(r) => reg_cost(node.ty, r.double_buf),
+        NodeKind::PriorityQueue(q) => pqueue_cost(target, node.ty, q.depth, q.double_buf),
+        _ => Resources::zero(),
+    }
+}
+
+/// The type at which a primitive's cost is characterized: predicates are
+/// costed at their (widest) input type, since a 32-bit comparison produces
+/// a 1-bit result but consumes 32-bit datapaths.
+fn cost_ty(design: &Design, n: NodeId) -> dhdl_core::DType {
+    match design.kind(n) {
+        NodeKind::Prim { op, inputs } if op.is_predicate() => inputs
+            .iter()
+            .map(|&i| design.ty(i))
+            .max_by_key(|t| (t.is_float(), t.bits()))
+            .unwrap_or(design.ty(n)),
+        _ => design.ty(n),
+    }
+}
+
+/// Per-node latency within a pipe body, used for ASAP delay balancing.
+pub(crate) fn body_node_latency(design: &Design, n: NodeId) -> u64 {
+    match design.kind(n) {
+        NodeKind::Prim { op, .. } => prim_cost(*op, cost_ty(design, n)).latency,
+        NodeKind::Mux { .. } => mux_cost(design.ty(n)).latency,
+        NodeKind::Load { mem, .. } | NodeKind::Store { mem, .. } => {
+            let banks = bank_count(design, *mem);
+            access_cost(design.ty(n), banks).latency
+        }
+        _ => 0,
+    }
+}
+
+fn bank_count(design: &Design, mem: NodeId) -> u32 {
+    match design.kind(mem) {
+        NodeKind::Bram(b) => b.banks,
+        _ => 1,
+    }
+}
+
+/// ASAP schedule of a pipe body: start time of each node.
+pub(crate) fn asap_schedule(design: &Design, p: &PipeSpec) -> BTreeMap<NodeId, u64> {
+    let mut start: BTreeMap<NodeId, u64> = BTreeMap::new();
+    for &n in &p.body {
+        let t = design
+            .prim_inputs(n)
+            .iter()
+            .filter_map(|&i| start.get(&i).map(|&s| s + body_node_latency(design, i)))
+            .max()
+            .unwrap_or(0);
+        start.insert(n, t);
+    }
+    start
+}
+
+/// Critical-path depth (latency of one iteration) of a pipe body.
+pub fn pipe_depth(design: &Design, p: &PipeSpec) -> u64 {
+    let sched = asap_schedule(design, p);
+    p.body
+        .iter()
+        .map(|&n| sched[&n] + body_node_latency(design, n))
+        .max()
+        .unwrap_or(0)
+}
+
+fn body_edges(design: &Design, p: &PipeSpec) -> f64 {
+    p.body
+        .iter()
+        .map(|&n| design.prim_inputs(n).len() as f64)
+        .sum()
+}
+
+/// Datapath and delay-balancing resources of one pipe body (per replica).
+fn pipe_body_resources(
+    design: &Design,
+    target: &FpgaTarget,
+    _pipe: NodeId,
+    p: &PipeSpec,
+) -> (Resources, Resources) {
+    let par = f64::from(p.par);
+    let mut res = Resources::zero();
+    // Datapath nodes, replicated by the vector width.
+    for &n in &p.body {
+        let node = design.node(n);
+        let lane = match &node.kind {
+            NodeKind::Prim { op, .. } => prim_cost(*op, cost_ty(design, n)).res,
+            NodeKind::Mux { .. } => mux_cost(node.ty).res,
+            NodeKind::Load { mem, .. } | NodeKind::Store { mem, .. } => {
+                access_cost(node.ty, bank_count(design, *mem)).res
+            }
+            _ => Resources::zero(),
+        };
+        res += lane.times(par);
+    }
+    // Reduction tree and accumulator for reduce-patterned pipes.
+    if let Some(r) = &p.reduce {
+        if let Pattern::Reduce(op) = p.pattern {
+            let ty = design.ty(r.reg);
+            res += reduce_tree_cost(op.prim(), ty, p.par);
+            // Final accumulator combiner.
+            res += prim_cost(op.prim(), ty).res;
+        }
+    }
+    // Delay-balancing resources from the ASAP schedule (§IV-B2): every
+    // input edge with slack relative to the consumer's start time delays
+    // its full bit width for the slack cycles.
+    let mut delays = Resources::zero();
+    let sched = asap_schedule(design, p);
+    for &n in &p.body {
+        let n_start = sched[&n];
+        for i in design.prim_inputs(n) {
+            let Some(&i_start) = sched.get(&i) else {
+                continue; // constants and loop iterators are timing-free
+            };
+            let ready = i_start + body_node_latency(design, i);
+            let slack = n_start.saturating_sub(ready);
+            if slack > 0 {
+                let bits = design.ty(i).bits() * p.par;
+                delays += delay_cost(target, slack, bits);
+            }
+        }
+    }
+    (res, delays)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhdl_core::{by, DType, DesignBuilder, ReduceOp};
+    use dhdl_target::FpgaTarget;
+
+    fn dot_design(par: u32, tile: u64) -> Design {
+        let mut b = DesignBuilder::new("dot");
+        let x = b.off_chip("x", DType::F32, &[1024]);
+        let y = b.off_chip("y", DType::F32, &[1024]);
+        b.sequential(|b| {
+            let acc = b.reg("acc", DType::F32, 0.0);
+            b.meta_pipe(&[by(1024, tile)], 1, |b, iters| {
+                let i = iters[0];
+                let xt = b.bram("xT", DType::F32, &[tile]);
+                let yt = b.bram("yT", DType::F32, &[tile]);
+                b.parallel(|b| {
+                    b.tile_load(x, xt, &[i], &[tile], par);
+                    b.tile_load(y, yt, &[i], &[tile], par);
+                });
+                b.pipe_reduce(&[by(tile, 1)], par, acc, ReduceOp::Add, |b, it| {
+                    let a = b.load(xt, &[it[0]]);
+                    let c = b.load(yt, &[it[0]]);
+                    b.mul(a, c)
+                });
+            });
+        });
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn elaboration_scales_with_parallelism() {
+        let t = FpgaTarget::stratix_v();
+        let n1 = elaborate(&dot_design(1, 64), &t);
+        let n8 = elaborate(&dot_design(8, 64), &t);
+        assert!(n8.raw.luts() > n1.raw.luts());
+        assert!(n8.raw.dsps > n1.raw.dsps); // replicated float multipliers
+        assert!(n8.raw.brams >= n1.raw.brams); // banking splits BRAMs
+    }
+
+    #[test]
+    fn elaboration_scales_with_tile_size() {
+        let t = FpgaTarget::stratix_v();
+        let small = elaborate(&dot_design(1, 64), &t);
+        let big = elaborate(&dot_design(1, 512), &t);
+        assert!(big.raw.brams >= small.raw.brams);
+    }
+
+    #[test]
+    fn pipe_depth_counts_critical_path() {
+        let d = dot_design(1, 64);
+        let pipes = d.find_all(|n| matches!(n.kind, NodeKind::Pipe(_)));
+        let NodeKind::Pipe(p) = d.kind(pipes[0]) else {
+            unreachable!()
+        };
+        // load (1) -> mul (4) at minimum.
+        assert!(pipe_depth(&d, p) >= 5);
+    }
+
+    #[test]
+    fn breakdown_sums_to_raw() {
+        let t = FpgaTarget::stratix_v();
+        let n = elaborate(&dot_design(4, 128), &t);
+        let total = n.breakdown.total();
+        assert!((total.luts() - n.raw.luts()).abs() < 1e-6);
+        assert!((total.regs - n.raw.regs).abs() < 1e-6);
+        assert!((total.brams - n.raw.brams).abs() < 1e-6);
+        // All major classes are populated for a tiled reduce design.
+        assert!(n.breakdown.primitives.luts() > 0.0);
+        assert!(n.breakdown.memories.brams > 0.0);
+        assert!(n.breakdown.control.luts() > 0.0);
+        assert!(n.breakdown.transfers.luts() > 0.0);
+    }
+
+    #[test]
+    fn features_are_populated() {
+        let t = FpgaTarget::stratix_v();
+        let n = elaborate(&dot_design(2, 64), &t);
+        assert!(n.features.prims > 0.0);
+        assert!(n.features.mems >= 3.0);
+        assert!(n.features.ctrls >= 4.0);
+        assert!(n.features.edges > 0.0);
+        assert!(n.features.depth >= 3.0);
+    }
+
+    #[test]
+    fn replication_by_outer_par() {
+        let t = FpgaTarget::stratix_v();
+        let build = |mp_par: u32| {
+            let mut b = DesignBuilder::new("rep");
+            let x = b.off_chip("x", DType::F32, &[256]);
+            b.sequential(|b| {
+                b.meta_pipe(&[by(256, 32)], mp_par, |b, iters| {
+                    let i = iters[0];
+                    let t0 = b.bram("t", DType::F32, &[32]);
+                    b.tile_load(x, t0, &[i], &[32], 1);
+                    b.pipe(&[by(32, 1)], 1, |b, it| {
+                        let v = b.load(t0, &[it[0]]);
+                        let w = b.mul(v, v);
+                        b.store(t0, &[it[0]], w);
+                    });
+                });
+            });
+            b.finish().unwrap()
+        };
+        let r1 = elaborate(&build(1), &t);
+        let r4 = elaborate(&build(4), &t);
+        // Outer parallelization replicates the whole body including BRAMs.
+        assert!(r4.raw.brams >= r1.raw.brams * 3.0);
+        assert!(r4.raw.dsps >= r1.raw.dsps * 3.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the synthesis model: determinism, monotonicity and
+//! physical sanity of the place-and-route report.
+
+use dhdl_core::{by, DType, DesignBuilder, PrimOp};
+use dhdl_synth::{design_hash, elaborate, synthesize};
+use dhdl_target::FpgaTarget;
+use proptest::prelude::*;
+
+fn compute_design(ops: u32, par: u32, tile_pow: u32) -> dhdl_core::Design {
+    let tile = 1u64 << tile_pow;
+    let mut b = DesignBuilder::new(format!("p{ops}_{par}_{tile}"));
+    let x = b.off_chip("x", DType::F32, &[tile * 4]);
+    b.sequential(|b| {
+        let t = b.bram("t", DType::F32, &[tile]);
+        b.meta_pipe(&[by(tile * 4, tile)], 1, |b, iters| {
+            b.tile_load(x, t, &[iters[0]], &[tile], par);
+            b.pipe(&[by(tile, 1)], par, |b, it| {
+                let mut v = b.load(t, &[it[0]]);
+                for _ in 0..ops {
+                    v = b.prim(PrimOp::Mul, &[v, v]);
+                }
+                b.store(t, &[it[0]], v);
+            });
+        });
+    });
+    b.finish().expect("valid")
+}
+
+proptest! {
+    /// Synthesis is deterministic: identical designs get identical reports.
+    #[test]
+    fn synthesis_is_deterministic(ops in 1u32..10, par in 0u32..5, t in 4u32..9) {
+        let target = FpgaTarget::stratix_v();
+        let d = compute_design(ops, 1 << par, t);
+        prop_assert_eq!(synthesize(&d, &target), synthesize(&d, &target));
+        prop_assert_eq!(design_hash(&d), design_hash(&d));
+    }
+
+    /// More primitive work never shrinks raw LUTs or DSPs.
+    #[test]
+    fn elaboration_is_monotone_in_ops(ops in 1u32..10, par in 0u32..4, t in 4u32..8) {
+        let target = FpgaTarget::stratix_v();
+        let small = elaborate(&compute_design(ops, 1 << par, t), &target);
+        let big = elaborate(&compute_design(ops + 1, 1 << par, t), &target);
+        prop_assert!(big.raw.luts() > small.raw.luts());
+        prop_assert!(big.raw.dsps >= small.raw.dsps);
+    }
+
+    /// Doubling parallelism grows datapath resources superlinearly in the
+    /// body (replication) but never shrinks anything.
+    #[test]
+    fn elaboration_is_monotone_in_par(ops in 1u32..8, par in 0u32..4, t in 5u32..9) {
+        let target = FpgaTarget::stratix_v();
+        let narrow = elaborate(&compute_design(ops, 1 << par, t), &target);
+        let wide = elaborate(&compute_design(ops, 1 << (par + 1), t), &target);
+        prop_assert!(wide.raw.luts() > narrow.raw.luts());
+        prop_assert!(wide.raw.brams >= narrow.raw.brams);
+    }
+
+    /// Post-P&R reports are physically sane: nonnegative, packing never
+    /// inflates ALMs above raw LUTs + register pressure, duplication
+    /// bounded at 100%.
+    #[test]
+    fn reports_are_physically_sane(ops in 1u32..10, par in 0u32..5, t in 4u32..9) {
+        let target = FpgaTarget::stratix_v();
+        let d = compute_design(ops, 1 << par, t);
+        let net = elaborate(&d, &target);
+        let rep = synthesize(&d, &target);
+        prop_assert!(rep.alms > 0.0);
+        prop_assert!(rep.regs >= net.raw.regs);
+        prop_assert!(rep.brams >= net.raw.brams);
+        prop_assert!(rep.brams <= net.raw.brams * 2.0 + 1.0);
+        prop_assert!(rep.dsps <= net.raw.dsps + 0.5);
+        // Packing halves packable LUTs at best: ALMs can't drop below
+        // unpackable + packable/2 (minus DSP-softening wiggle).
+        let floor = net.raw.lut_unpackable + net.raw.lut_packable / 2.0;
+        prop_assert!(rep.alms >= floor * 0.9, "{} vs {}", rep.alms, floor);
+    }
+}

@@ -1,0 +1,71 @@
+//! Black-Scholes acceleration end to end: find the best design by DSE,
+//! execute it on the simulated platform against real option data, validate
+//! the prices against the analytic reference, and compare against the
+//! modeled 6-core CPU — the paper's headline 16.7x speedup benchmark.
+//!
+//! Run with: `cargo run --release --example blackscholes_accel`
+
+use dhdl_suite::apps::{Benchmark, BlackScholes};
+use dhdl_suite::cpu::XeonModel;
+use dhdl_suite::dse::{explore, DseOptions};
+use dhdl_suite::estimate::Estimator;
+use dhdl_suite::sim::{simulate, Bindings};
+use dhdl_suite::target::Platform;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::maia();
+    let bench = BlackScholes::new(49_152);
+
+    println!("calibrating estimator...");
+    let estimator = Estimator::calibrate(&platform, 99);
+    let result = explore(
+        |p| bench.build(p),
+        &bench.param_space(),
+        &estimator,
+        &DseOptions {
+            max_points: 500,
+            ..DseOptions::default()
+        },
+    );
+    let best = result.best().expect("a valid blackscholes design exists");
+    println!(
+        "best design: {} (estimated {:.0} cycles, {:.1}% of ALMs)",
+        best.params,
+        best.cycles,
+        100.0 * best.area.alms / platform.fpga.alms as f64
+    );
+
+    // Execute on the platform simulator with the real dataset.
+    let design = bench.build(&best.params)?;
+    let mut bindings = Bindings::new();
+    for (name, data) in bench.inputs() {
+        bindings = bindings.bind(&name, data);
+    }
+    let sim = simulate(&design, &platform, &bindings)?;
+    let fpga_s = sim.seconds(&platform);
+
+    // Validate the computed option prices.
+    let prices = sim.output("price")?;
+    let reference = bench.reference();
+    let expected = &reference["price"];
+    let mut worst = 0.0f64;
+    for (p, e) in prices.iter().zip(expected) {
+        worst = worst.max((p - e).abs());
+    }
+    println!(
+        "priced {} options in {:.3} ms; worst abs error vs analytic reference: {:.2e}",
+        prices.len(),
+        fpga_s * 1e3,
+        worst
+    );
+    assert!(worst < 1e-2, "prices must match the reference");
+
+    // Compare against the modeled Xeon E5-2630 (the paper's CPU baseline).
+    let cpu_s = XeonModel::default().seconds(&bench.work());
+    println!(
+        "CPU model: {:.3} ms; FPGA speedup {:.1}x (paper: 16.7x)",
+        cpu_s * 1e3,
+        cpu_s / fpga_s
+    );
+    Ok(())
+}

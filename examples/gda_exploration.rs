@@ -1,0 +1,76 @@
+//! Design space exploration on GDA — the paper's running example
+//! (Figures 2–4): explore tile sizes, parallelization factors and
+//! MetaPipe toggles, print the Pareto frontier, and show how the two
+//! MetaPipe toggles change the best design.
+//!
+//! Run with: `cargo run --release --example gda_exploration`
+
+use dhdl_suite::apps::{Benchmark, Gda};
+use dhdl_suite::dse::{explore, DseOptions};
+use dhdl_suite::estimate::Estimator;
+use dhdl_suite::target::Platform;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::maia();
+    let bench = Gda::default();
+    println!(
+        "GDA ({}), parameters from Figure 3:",
+        bench.dataset_desc()
+    );
+    for def in bench.param_space().defs() {
+        println!(
+            "  {:4}  legal values: {:?}",
+            def.name,
+            def.kind.legal_values()
+        );
+    }
+    println!(
+        "legal design space: {} points",
+        bench.param_space().size()
+    );
+
+    println!("\ncalibrating estimator...");
+    let estimator = Estimator::calibrate(&platform, 7);
+    let opts = DseOptions {
+        max_points: 2_000,
+        ..DseOptions::default()
+    };
+    let result = explore(|p| bench.build(p), &bench.param_space(), &estimator, &opts);
+    println!(
+        "evaluated {} sampled points ({} discarded), {} on the Pareto front:\n",
+        result.points.len(),
+        result.discarded,
+        result.pareto.len()
+    );
+    println!("{:<55} {:>12} {:>10} {:>8}", "params", "cycles", "ALMs", "valid");
+    for p in result.pareto_points().take(12) {
+        println!(
+            "{:<55} {:>12.0} {:>10.0} {:>8}",
+            p.params.to_string(),
+            p.cycles,
+            p.area.alms,
+            p.valid
+        );
+    }
+
+    // The MetaPipe toggles of Figure 4: compare the best fully-Sequential
+    // design against the best coarse-grained-pipelined one.
+    let best_with = result
+        .points
+        .iter()
+        .filter(|p| p.valid && p.params.get("m1") == Some(1))
+        .map(|p| p.cycles)
+        .fold(f64::INFINITY, f64::min);
+    let best_without = result
+        .points
+        .iter()
+        .filter(|p| p.valid && p.params.get("m1") == Some(0) && p.params.get("m2") == Some(0))
+        .map(|p| p.cycles)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nbest with MetaPipes: {best_with:.0} cycles; Sequential-only: {best_without:.0} \
+         cycles ({:.2}x slower)",
+        best_without / best_with
+    );
+    Ok(())
+}

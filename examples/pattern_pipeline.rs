@@ -1,0 +1,94 @@
+//! The parallel-pattern frontend end to end (Figure 1, Step 1 onward):
+//! write a small analytics pipeline as map/filter/groupBy patterns, fuse
+//! it, lower it to DHDL, explore its design space, and simulate the best
+//! design — without ever touching the builder API.
+//!
+//! Run with: `cargo run --release --example pattern_pipeline`
+
+use dhdl_suite::apps::{Arrays, Benchmark, PatternBenchmark};
+use dhdl_suite::core::{DType, PrimOp, ReduceOp};
+use dhdl_suite::dse::{explore, DseOptions};
+use dhdl_suite::estimate::Estimator;
+use dhdl_suite::patterns::{Expr, PatternProgram};
+use dhdl_suite::target::Platform;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A mini query over a table of transactions: scale amounts, sum the
+    // large ones, and histogram all of them into 8 buckets.
+    let n = 12_288u64;
+    let mut prog = PatternProgram::new();
+    let amounts = prog.input("amounts", n, DType::F32);
+    let scaled = prog.map(
+        "scaled",
+        &[amounts],
+        Expr::mul(Expr::input(0), Expr::lit(1.0825)), // add sales tax
+    );
+    prog.filter_reduce(
+        "large_total",
+        &[scaled],
+        Expr::bin(PrimOp::Gt, Expr::input(0), Expr::lit(500.0)),
+        Expr::input(0),
+        ReduceOp::Add,
+    );
+    prog.group_by_reduce(
+        "histogram",
+        &[scaled],
+        Expr::mul(Expr::input(0), Expr::lit(8.0 / 1100.0)), // bucket index
+        Expr::lit(1.0),
+        ReduceOp::Add,
+        8,
+    );
+
+    let mut inputs = Arrays::new();
+    inputs.insert(
+        "amounts".into(),
+        (0..n).map(|i| ((i * 73) % 1000) as f64 + 0.5).collect(),
+    );
+    // PatternBenchmark fuses the program (the producer map disappears into
+    // both consumers) and derives reference outputs + work profile.
+    let bench = PatternBenchmark::new("txquery", "Transaction analytics", prog, inputs);
+    println!(
+        "fused program: {} patterns ({})",
+        bench.program().ops().len(),
+        bench.dataset_desc()
+    );
+
+    println!("calibrating estimator...");
+    let platform = Platform::maia();
+    let estimator = Estimator::calibrate(&platform, 17);
+    let result = explore(
+        |p| bench.build(p),
+        &bench.param_space(),
+        &estimator,
+        &DseOptions {
+            max_points: 300,
+            ..DseOptions::default()
+        },
+    );
+    let best = result.best().expect("a valid design exists");
+    println!(
+        "best of {} evaluated points: {} ({:.0} est. cycles)",
+        result.points.len(),
+        best.params,
+        best.cycles
+    );
+
+    // Simulate and check against the pattern interpreter.
+    let design = bench.build(&best.params)?;
+    let mut bindings = dhdl_suite::sim::Bindings::new();
+    for (k, v) in bench.inputs() {
+        bindings = bindings.bind(&k, v);
+    }
+    let sim = dhdl_suite::sim::simulate(&design, &platform, &bindings)?;
+    let expected = bench.reference();
+    let total = sim.output("large_total")?[0];
+    let hist = sim.output("histogram")?;
+    assert!((total - expected["large_total"][0]).abs() < 1e-2 * total.abs());
+    assert_eq!(hist, &expected["histogram"][..]);
+    println!(
+        "simulated {:.0} cycles ({:.3} ms): large_total = {total:.2}, histogram = {hist:?}",
+        sim.cycles,
+        sim.seconds(&platform) * 1e3
+    );
+    Ok(())
+}

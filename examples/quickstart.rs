@@ -1,0 +1,73 @@
+//! Quickstart: build a dot-product accelerator, estimate it, synthesize
+//! it, simulate it, and generate its MaxJ code — the complete Figure 1
+//! flow on one design instance.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dhdl_suite::apps::{Benchmark, DotProduct};
+use dhdl_suite::estimate::Estimator;
+use dhdl_suite::sim::{simulate, Bindings};
+use dhdl_suite::synth;
+use dhdl_suite::target::Platform;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::maia();
+
+    // 1. A benchmark is a DHDL metaprogram: instantiate it with concrete
+    //    design parameters (tile size, parallelization, MetaPipe toggle).
+    let bench = DotProduct::new(98_304);
+    let params = bench.default_params();
+    let design = bench.build(&params)?;
+    println!("built `{}` with {}", design.name(), params);
+    println!("{design}");
+
+    // 2. Fast estimation (the paper's core contribution): calibrate once
+    //    per target, then estimate any design in microseconds.
+    println!("calibrating estimator (one-time per target)...");
+    let estimator = Estimator::calibrate(&platform, 42);
+    let est = estimator.estimate(&design);
+    println!(
+        "estimate: {:.0} cycles ({:.3} ms at 150 MHz), {:.0} ALMs, {:.0} DSPs, {:.0} BRAMs",
+        est.cycles,
+        est.seconds(&platform) * 1e3,
+        est.area.alms,
+        est.area.dsps,
+        est.area.brams
+    );
+
+    // 3. Synthesis model: the post-place-and-route ground truth.
+    let report = synth::synthesize(&design, &platform.fpga);
+    println!(
+        "synthesis: {:.0} ALMs ({:.0} route LUTs, {:.0} dup BRAMs)",
+        report.alms, report.luts_route, report.brams_dup
+    );
+
+    // 4. Execute the design on the simulator with real data.
+    let mut bindings = Bindings::new();
+    for (name, data) in bench.inputs() {
+        bindings = bindings.bind(&name, data);
+    }
+    let result = simulate(&design, &platform, &bindings)?;
+    let expected = bench.reference()["out"][0];
+    println!(
+        "simulated: {:.0} cycles, result {:.3} (expected {:.3})",
+        result.cycles,
+        result.output("out")?[0],
+        expected
+    );
+    println!(
+        "runtime estimation error: {:.2}%",
+        100.0 * (est.cycles - result.cycles).abs() / result.cycles
+    );
+
+    // 5. Generate hardware (MaxJ).
+    let maxj = synth::maxj::generate(&design);
+    println!(
+        "generated {} lines of MaxJ; first lines:",
+        maxj.lines().count()
+    );
+    for line in maxj.lines().take(12) {
+        println!("    {line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Regenerate every table and figure of the evaluation (EXPERIMENTS.md).
+set -e
+cargo build --release --workspace
+for b in table2 table3 table4 fig5 fig6 energy ablations; do
+  echo "=== $b ==="
+  cargo run -q -p dhdl-bench --bin "$b" --release
+done

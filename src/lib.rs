@@ -1,0 +1,32 @@
+//! # dhdl-suite — facade over the DHDL accelerator-generation framework
+//!
+//! A Rust reproduction of Koeplinger et al., *Automatic Generation of
+//! Efficient Accelerators for Reconfigurable Hardware* (ISCA 2016). The
+//! workspace implements the full toolchain of the paper's Figure 1:
+//! a parameterized hardware IR ([`core`]), millisecond-scale area/runtime
+//! estimation ([`estimate`]), design space exploration ([`dse`]), hardware
+//! generation and a synthesis model ([`synth`]), an execution substrate
+//! ([`sim`]), the seven evaluation benchmarks ([`apps`]), CPU baselines
+//! ([`cpu`]) and a mock commercial HLS tool ([`hls`]).
+//!
+//! See `README.md` for a walkthrough and `DESIGN.md` for the architecture.
+//!
+//! ```
+//! use dhdl_suite::apps::{Benchmark, DotProduct};
+//!
+//! let bench = DotProduct::new(9_600);
+//! let design = bench.build(&bench.default_params()).unwrap();
+//! assert_eq!(design.name(), "dotproduct");
+//! ```
+
+pub use dhdl_apps as apps;
+pub use dhdl_core as core;
+pub use dhdl_cpu as cpu;
+pub use dhdl_dse as dse;
+pub use dhdl_estimate as estimate;
+pub use dhdl_hls as hls;
+pub use dhdl_mlp as mlp;
+pub use dhdl_patterns as patterns;
+pub use dhdl_sim as sim;
+pub use dhdl_synth as synth;
+pub use dhdl_target as target;

@@ -1,0 +1,198 @@
+//! Property-based tests over the core data structures and invariants:
+//! parameter-space pruning, simulator/estimator monotonicity, the DRAM
+//! timeline, Pareto frontiers and the pattern interpreter/lowering
+//! equivalence.
+
+use dhdl_core::{by, DType, DesignBuilder, ParamKind, ReduceOp};
+use dhdl_dse::pareto_front;
+use dhdl_sim::{simulate, Bindings, DramTimeline};
+use dhdl_target::Platform;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every legal tile value divides the annotated dimension and lies in
+    /// range (§IV-C pruning).
+    #[test]
+    fn tile_legal_values_divide(n in 1u64..20_000, min in 1u64..64, span in 1u64..512) {
+        let max = min + span;
+        let kind = ParamKind::Tile { divides: n, min, max };
+        for v in kind.legal_values() {
+            prop_assert_eq!(n % v, 0);
+            prop_assert!(v >= min && v <= max);
+        }
+    }
+
+    /// Par values divide the trip count.
+    #[test]
+    fn par_legal_values_divide(n in 1u64..10_000, max in 1u64..128) {
+        let kind = ParamKind::Par { divides: n, max };
+        let values = kind.legal_values();
+        prop_assert!(!values.is_empty());
+        for v in values {
+            prop_assert_eq!(n % v, 0);
+            prop_assert!(v <= max || v == 1);
+        }
+    }
+
+    /// The DRAM timeline conserves channel time: total busy time equals
+    /// the sum of requested ideals, regardless of issue order.
+    #[test]
+    fn dram_timeline_conserves_bandwidth(
+        reqs in prop::collection::vec((0.0f64..10_000.0, 1.0f64..500.0), 1..40)
+    ) {
+        let mut t = DramTimeline::new();
+        let mut total = 0.0;
+        for &(start, ideal) in &reqs {
+            let d = t.request(start, ideal);
+            // A transfer is never faster than its unloaded duration.
+            prop_assert!(d >= ideal - 1e-9);
+            total += ideal;
+        }
+        prop_assert!((t.busy_cycles() - total).abs() < 1e-6);
+        prop_assert_eq!(t.transfers(), reqs.len());
+    }
+
+    /// The Pareto front never contains a dominated point and is sorted by
+    /// increasing cycles / decreasing area.
+    #[test]
+    fn pareto_front_is_minimal(
+        pts in prop::collection::vec((1.0f64..1e6, 1.0f64..1e6, any::<bool>()), 0..60)
+    ) {
+        let front = pareto_front(&pts);
+        for (k, &i) in front.iter().enumerate() {
+            prop_assert!(pts[i].2, "invalid point on front");
+            // No other valid point dominates it.
+            for (j, p) in pts.iter().enumerate() {
+                if j != i && p.2 {
+                    let dominates =
+                        p.0 <= pts[i].0 && p.1 <= pts[i].1 && (p.0 < pts[i].0 || p.1 < pts[i].1);
+                    prop_assert!(!dominates, "point {j} dominates front point {i}");
+                }
+            }
+            if k > 0 {
+                let prev = front[k - 1];
+                prop_assert!(pts[prev].0 <= pts[i].0);
+                prop_assert!(pts[prev].1 >= pts[i].1);
+            }
+        }
+    }
+
+    /// A single-pipe elementwise design computes the right function for
+    /// arbitrary inputs and always reports positive cycles.
+    #[test]
+    fn simulated_map_is_exact(
+        data in prop::collection::vec(-1000.0f64..1000.0, 1..64),
+        scale in -8.0f64..8.0
+    ) {
+        let n = data.len() as u64;
+        let mut b = DesignBuilder::new("prop_map");
+        let x = b.off_chip("x", DType::F32, &[n]);
+        let y = b.off_chip("y", DType::F32, &[n]);
+        b.sequential(|b| {
+            let xt = b.bram("xT", DType::F32, &[n]);
+            let yt = b.bram("yT", DType::F32, &[n]);
+            let z = b.index_const(0);
+            b.tile_load(x, xt, &[z], &[n], 1);
+            b.pipe(&[by(n, 1)], 1, |b, it| {
+                let v = b.load(xt, &[it[0]]);
+                let s = b.constant(scale, DType::F32);
+                let w = b.mul(v, s);
+                b.store(yt, &[it[0]], w);
+            });
+            b.tile_store(y, yt, &[z], &[n], 1);
+        });
+        let design = b.finish().expect("valid");
+        let data32: Vec<f64> = data.iter().map(|&v| v as f32 as f64).collect();
+        let r = simulate(
+            &design,
+            &Platform::maia(),
+            &Bindings::new().bind("x", data32.clone()),
+        )
+        .expect("simulates");
+        let out = r.output("y").expect("y exists");
+        for (i, (&got, &x)) in out.iter().zip(&data32).enumerate() {
+            let expected = ((scale as f32 as f64) as f32 * x as f32) as f64;
+            prop_assert!((got - expected).abs() < 1e-9, "i={i} {got} vs {expected}");
+        }
+        prop_assert!(r.cycles > 0.0);
+    }
+
+    /// Reductions over arbitrary data match a quantized fold, for every
+    /// reduce operator.
+    #[test]
+    fn simulated_reduce_is_exact(
+        data in prop::collection::vec(-100.0f64..100.0, 2..96),
+        which in 0u8..3
+    ) {
+        let op = match which {
+            0 => ReduceOp::Add,
+            1 => ReduceOp::Min,
+            _ => ReduceOp::Max,
+        };
+        let n = data.len() as u64;
+        let mut b = DesignBuilder::new("prop_red");
+        let x = b.off_chip("x", DType::F32, &[n]);
+        let out = b.off_chip("out", DType::F32, &[1]);
+        b.sequential(|b| {
+            let xt = b.bram("xT", DType::F32, &[n]);
+            let z = b.index_const(0);
+            b.tile_load(x, xt, &[z], &[n], 1);
+            let acc = b.reg("acc", DType::F32, 0.0);
+            b.pipe_reduce(&[by(n, 1)], 1, acc, op, |b, it| b.load(xt, &[it[0]]));
+            let ot = b.bram("oT", DType::F32, &[1]);
+            b.pipe(&[by(1, 1)], 1, |b, it| {
+                let v = b.load_reg(acc);
+                b.store(ot, &[it[0]], v);
+            });
+            b.tile_store(out, ot, &[z], &[1], 1);
+        });
+        let design = b.finish().expect("valid");
+        let data32: Vec<f64> = data.iter().map(|&v| v as f32 as f64).collect();
+        let r = simulate(
+            &design,
+            &Platform::maia(),
+            &Bindings::new().bind("x", data32.clone()),
+        )
+        .expect("simulates");
+        let mut acc = op.identity();
+        for &v in &data32 {
+            acc = DType::F32.quantize(op.apply(acc, v));
+        }
+        let got = r.output("out").expect("out")[0];
+        prop_assert!((got - acc).abs() < 1e-6, "{got} vs {acc}");
+    }
+
+    /// Pattern lowering preserves interpreter semantics for arbitrary
+    /// affine kernels.
+    #[test]
+    fn pattern_lowering_matches_interpreter(
+        data in prop::collection::vec(-64.0f64..64.0, 16..128),
+        a in -4.0f64..4.0,
+        c in -4.0f64..4.0
+    ) {
+        use dhdl_patterns::{default_params, lower, Expr, PatternProgram};
+        let n = data.len() as u64;
+        let mut p = PatternProgram::new();
+        let x = p.input("x", n, DType::F32);
+        p.map(
+            "out",
+            &[x],
+            Expr::add(Expr::mul(Expr::lit(a), Expr::input(0)), Expr::lit(c)),
+        );
+        let mut inputs = std::collections::BTreeMap::new();
+        let data32: Vec<f64> = data.iter().map(|&v| v as f32 as f64).collect();
+        inputs.insert("x".to_string(), data32.clone());
+        let expected = p.interpret(&inputs);
+        let design = lower(&p, "prop_pat", &default_params(&p)).expect("lowers");
+        let r = simulate(
+            &design,
+            &Platform::maia(),
+            &Bindings::new().bind("x", data32),
+        )
+        .expect("simulates");
+        let got = r.output("out").expect("out");
+        for (g, e) in got.iter().zip(&expected["out"]) {
+            prop_assert!((g - e).abs() < 1e-6, "{g} vs {e}");
+        }
+    }
+}
