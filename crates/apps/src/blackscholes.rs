@@ -50,8 +50,7 @@ impl BlackScholes {
         fn cnd(d: f64) -> f64 {
             let x = d.abs();
             let kk = 1.0 / (1.0 + CND_K * x);
-            let poly = kk
-                * (CND_A1 + kk * (CND_A2 + kk * (CND_A3 + kk * (CND_A4 + kk * CND_A5))));
+            let poly = kk * (CND_A1 + kk * (CND_A2 + kk * (CND_A3 + kk * (CND_A4 + kk * CND_A5))));
             let n = 1.0 - INV_SQRT_2PI * (-x * x / 2.0).exp() * poly;
             if d < 0.0 {
                 1.0 - n
@@ -135,7 +134,14 @@ impl Benchmark for BlackScholes {
 
     fn default_params(&self) -> ParamValues {
         ParamValues::new()
-            .with("ts", if self.n.is_multiple_of(1536) { 1536 } else { 96 })
+            .with(
+                "ts",
+                if self.n.is_multiple_of(1536) {
+                    1536
+                } else {
+                    96
+                },
+            )
             .with("ip", 2)
             .with("mp", 1)
     }
@@ -274,7 +280,11 @@ impl Benchmark for BlackScholes {
         for k in 0..12 {
             let d = ops.len();
             ops.push(HlsOp::new(
-                if k % 3 == 0 { HlsOpKind::Div } else { HlsOpKind::Mul },
+                if k % 3 == 0 {
+                    HlsOpKind::Div
+                } else {
+                    HlsOpKind::Mul
+                },
                 &[d - 1, d - 2],
             ));
             ops.push(HlsOp::new(HlsOpKind::Add, &[d, d - 1]));

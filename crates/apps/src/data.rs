@@ -10,7 +10,9 @@ use rand::{Rng, SeedableRng};
 /// Uniform values in `[lo, hi)`, rounded to f32.
 pub fn uniform(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(lo..hi) as f32 as f64).collect()
+    (0..n)
+        .map(|_| rng.gen_range(lo..hi) as f32 as f64)
+        .collect()
 }
 
 /// Uniform integer values in `[lo, hi)`, as f64.

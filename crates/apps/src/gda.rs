@@ -72,7 +72,14 @@ impl Benchmark for Gda {
 
     fn default_params(&self) -> ParamValues {
         ParamValues::new()
-            .with("rts", if self.r.is_multiple_of(96) { 96 } else { 4.min(self.r) })
+            .with(
+                "rts",
+                if self.r.is_multiple_of(96) {
+                    96
+                } else {
+                    4.min(self.r)
+                },
+            )
             .with("p1", 4.min(self.d))
             .with("p2", 4.min(self.d))
             .with("m2p", 1)
@@ -115,29 +122,36 @@ impl Benchmark for Gda {
                     b.tile_load(y, yt, &[rr], &[rts], 1);
                 });
                 let sigma_blk = b.bram("sigmaBlk", DType::F32, &[d, d]);
-                b.outer_fold(m2, &[by(rts, 1)], m2p, sigma_blk, ReduceOp::Add, |b, rri| {
-                    let row = rri[0];
-                    let subt = b.bram("subT", DType::F32, &[d]);
-                    let sigma_tile = b.bram("sigmaTile", DType::F32, &[d, d]);
-                    b.pipe(&[by(d, 1)], p1, |b, it| {
-                        let cc = it[0];
-                        let label = b.load(yt, &[row]);
-                        let m1v = b.load(mu1t, &[cc]);
-                        let m0v = b.load(mu0t, &[cc]);
-                        let mu = b.mux(label, m1v, m0v);
-                        let xv = b.load(xt, &[row, cc]);
-                        let sub = b.sub(xv, mu);
-                        b.store(subt, &[cc], sub);
-                    });
-                    b.pipe(&[by(d, 1), by(d, 1)], p2, |b, it| {
-                        let (ii, jj) = (it[0], it[1]);
-                        let a = b.load(subt, &[ii]);
-                        let c = b.load(subt, &[jj]);
-                        let m = b.mul(a, c);
-                        b.store(sigma_tile, &[ii, jj], m);
-                    });
-                    sigma_tile
-                });
+                b.outer_fold(
+                    m2,
+                    &[by(rts, 1)],
+                    m2p,
+                    sigma_blk,
+                    ReduceOp::Add,
+                    |b, rri| {
+                        let row = rri[0];
+                        let subt = b.bram("subT", DType::F32, &[d]);
+                        let sigma_tile = b.bram("sigmaTile", DType::F32, &[d, d]);
+                        b.pipe(&[by(d, 1)], p1, |b, it| {
+                            let cc = it[0];
+                            let label = b.load(yt, &[row]);
+                            let m1v = b.load(mu1t, &[cc]);
+                            let m0v = b.load(mu0t, &[cc]);
+                            let mu = b.mux(label, m1v, m0v);
+                            let xv = b.load(xt, &[row, cc]);
+                            let sub = b.sub(xv, mu);
+                            b.store(subt, &[cc], sub);
+                        });
+                        b.pipe(&[by(d, 1), by(d, 1)], p2, |b, it| {
+                            let (ii, jj) = (it[0], it[1]);
+                            let a = b.load(subt, &[ii]);
+                            let c = b.load(subt, &[jj]);
+                            let m = b.mul(a, c);
+                            b.store(sigma_tile, &[ii, jj], m);
+                        });
+                        sigma_tile
+                    },
+                );
                 sigma_blk
             });
             let z3 = b.index_const(0);
@@ -159,12 +173,7 @@ impl Benchmark for Gda {
     fn reference(&self) -> Arrays {
         let inputs = self.inputs();
         let (r, d) = (self.r as usize, self.d as usize);
-        let (x, y, mu0, mu1) = (
-            &inputs["x"],
-            &inputs["y"],
-            &inputs["mu0"],
-            &inputs["mu1"],
-        );
+        let (x, y, mu0, mu1) = (&inputs["x"], &inputs["y"], &inputs["mu0"], &inputs["mu1"]);
         let mut sigma = vec![0.0f64; d * d];
         let mut sub = vec![0.0f64; d];
         for row in 0..r {
@@ -216,9 +225,7 @@ impl Benchmark for Gda {
             ])
             .pipelined(true);
         let l121 = HlsLoop::new("L121", self.d).with_child(l122);
-        let l1 = HlsLoop::new("L1", self.r)
-            .with_child(l11)
-            .with_child(l121);
+        let l1 = HlsLoop::new("L1", self.r).with_child(l11).with_child(l121);
         Some(HlsKernel::new("gda").with_loop(l1))
     }
 }

@@ -222,13 +222,11 @@ mod tests {
         // A = I => C = B.
         let g = Gemm::new(4, 4, 4);
         let mut inputs = g.inputs();
-        let ident: Vec<f64> = (0..16)
-            .map(|i| f64::from(u8::from(i % 5 == 0)))
-            .collect();
+        let ident: Vec<f64> = (0..16).map(|i| f64::from(u8::from(i % 5 == 0))).collect();
         inputs.insert("a".into(), ident);
         // Manual check with the same algorithm shape.
         let b = &inputs["b"];
-        let mut c = vec![0.0f64; 16];
+        let mut c = [0.0f64; 16];
         for i in 0..4 {
             for kk in 0..4 {
                 let av = inputs["a"][i * 4 + kk];

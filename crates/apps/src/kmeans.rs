@@ -93,7 +93,14 @@ impl Benchmark for KMeans {
 
     fn default_params(&self) -> ParamValues {
         ParamValues::new()
-            .with("pts", if self.points.is_multiple_of(96) { 96 } else { 8.min(self.points) })
+            .with(
+                "pts",
+                if self.points.is_multiple_of(96) {
+                    96
+                } else {
+                    8.min(self.points)
+                },
+            )
             .with("dp", 4.min(self.dim))
             .with("pp", 2)
             .with("mp", 1)
@@ -277,7 +284,7 @@ mod tests {
     fn reference_counts_all_points() {
         let km = KMeans::new(128, 4, 8);
         let inputs = km.inputs();
-        let mut counts = vec![0usize; 4];
+        let mut counts = [0usize; 4];
         for p in 0..128 {
             counts[km.assign(&inputs["points"], &inputs["centroids"], p)] += 1;
         }

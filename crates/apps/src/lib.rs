@@ -237,11 +237,7 @@ mod tests {
     #[test]
     fn spaces_are_nontrivial() {
         for b in all() {
-            assert!(
-                b.param_space().size() >= 8,
-                "{} space too small",
-                b.name()
-            );
+            assert!(b.param_space().size() >= 8, "{} space too small", b.name());
         }
     }
 }

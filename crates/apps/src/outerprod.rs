@@ -67,7 +67,11 @@ impl Benchmark for OuterProduct {
     }
 
     fn default_params(&self) -> ParamValues {
-        let t = if self.n.is_multiple_of(96) { 96 } else { 32.min(self.n) };
+        let t = if self.n.is_multiple_of(96) {
+            96
+        } else {
+            32.min(self.n)
+        };
         ParamValues::new()
             .with("ts1", t)
             .with("ts2", t)

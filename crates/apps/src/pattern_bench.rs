@@ -74,7 +74,11 @@ impl Benchmark for PatternBenchmark {
             .iter()
             .map(|op| self.program.spec(op.ins()[0]).len)
             .sum();
-        format!("{} patterns over {} elements", self.program.ops().len(), total)
+        format!(
+            "{} patterns over {} elements",
+            self.program.ops().len(),
+            total
+        )
     }
 
     fn param_space(&self) -> ParamSpace {
@@ -197,7 +201,11 @@ mod tests {
         let r = b.reference();
         let manual: f64 = {
             let i = b.inputs();
-            i["a"].iter().zip(&i["b"]).map(|(x, y)| (x - y) * (x - y)).sum()
+            i["a"]
+                .iter()
+                .zip(&i["b"])
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum()
         };
         assert!((r["dist"][0] - manual).abs() < 1e-3 * manual.abs());
     }

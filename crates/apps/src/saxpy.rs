@@ -17,10 +17,7 @@ pub struct Saxpy {
 
 impl Default for Saxpy {
     fn default() -> Self {
-        Saxpy {
-            n: 24_576,
-            a: 2.5,
-        }
+        Saxpy { n: 24_576, a: 2.5 }
     }
 }
 
@@ -63,7 +60,14 @@ impl Benchmark for Saxpy {
 
     fn default_params(&self) -> ParamValues {
         ParamValues::new()
-            .with("ts", if self.n.is_multiple_of(1536) { 1536 } else { 96 })
+            .with(
+                "ts",
+                if self.n.is_multiple_of(1536) {
+                    1536
+                } else {
+                    96
+                },
+            )
             .with("ip", 4)
             .with("mp", 1)
     }
@@ -141,7 +145,12 @@ mod tests {
     #[test]
     fn builds_and_references() {
         let s = Saxpy::new(192, 3.0);
-        let d = s.build(&ParamValues::new().with("ts", 96).with("ip", 2).with("mp", 1));
+        let d = s.build(
+            &ParamValues::new()
+                .with("ts", 96)
+                .with("ip", 2)
+                .with("mp", 1),
+        );
         assert!(d.is_ok());
         let r = s.reference();
         let i = s.inputs();

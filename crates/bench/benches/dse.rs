@@ -19,14 +19,7 @@ fn bench_dse(c: &mut Criterion) {
                 max_points: n,
                 ..DseOptions::default()
             };
-            b.iter(|| {
-                std::hint::black_box(explore(
-                    |p| bench.build(p),
-                    &space,
-                    &estimator,
-                    &opts,
-                ))
-            })
+            b.iter(|| std::hint::black_box(explore(|p| bench.build(p), &space, &estimator, &opts)))
         });
     }
     group.finish();

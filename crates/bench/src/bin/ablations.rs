@@ -66,7 +66,11 @@ fn ablation_metapipe(harness: &Harness) {
             } else {
                 "(none sampled)".into()
             },
-            if adv.is_finite() { times(adv) } else { "-".into() },
+            if adv.is_finite() {
+                times(adv)
+            } else {
+                "-".into()
+            },
         ]);
     }
     println!("\nAblation 1: MetaPipe (coarse-grained pipelining) value\n");
@@ -93,7 +97,10 @@ fn ablation_hybrid(harness: &Harness) {
         raw_err += ((raw.alms - truth.alms) / truth.alms).abs();
     }
     let mut t = Table::new(&["Estimator", "avg ALM error (held-out designs)"]);
-    t.row(&["hybrid (analytical + NN)".into(), pct(hybrid_err / n as f64)]);
+    t.row(&[
+        "hybrid (analytical + NN)".into(),
+        pct(hybrid_err / n as f64),
+    ]);
     t.row(&["raw analytical only".into(), pct(raw_err / n as f64)]);
     println!("\nAblation 2: hybrid estimation vs raw analytical ({n} held-out designs)\n");
     println!("{}", t.render());

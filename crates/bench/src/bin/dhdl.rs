@@ -209,7 +209,10 @@ fn sim(bench: &dyn dhdl_apps::Benchmark, rest: &[String]) {
     if flag(rest, "--profile") {
         println!("\nper-controller cycles (heaviest first):");
         for e in result.profile().iter().take(12) {
-            println!("{:>14.0} cycles  {:>8} runs  {}", e.cycles, e.executions, e.label);
+            println!(
+                "{:>14.0} cycles  {:>8} runs  {}",
+                e.cycles, e.executions, e.label
+            );
         }
     }
 }
@@ -245,7 +248,10 @@ fn bottleneck(bench: &dyn dhdl_apps::Benchmark, rest: &[String]) {
     let harness = Harness::new(0xC14, 50);
     let design = bench.build(&p).expect("design builds");
     println!("estimated cycle attribution (heaviest controllers first):");
-    for e in estimate_breakdown(&design, &harness.platform).iter().take(10) {
+    for e in estimate_breakdown(&design, &harness.platform)
+        .iter()
+        .take(10)
+    {
         println!(
             "{:>14.0} cycles  {:>10.0} runs x {:>10.0}  {}",
             e.total, e.executions, e.per_execution, e.label

@@ -71,9 +71,7 @@ fn main() {
     }
     println!("\nEnergy efficiency of best generated designs vs the 6-core CPU\n");
     println!("{}", t.render());
-    println!(
-        "(FPGA power from the Stratix V power model over synthesized area; CPU at TDP.)"
-    );
+    println!("(FPGA power from the Stratix V power model over synthesized area; CPU at TDP.)");
     let path = write_result("energy.csv", &csv);
     println!("wrote {}", path.display());
 }

@@ -38,8 +38,14 @@ fn main() {
         "paper's finding",
     ]);
     let paper_findings = [
-        ("dotproduct", "memory-bound; MetaPipe cheaper than Sequential"),
-        ("outerprod", "BRAM + memory bound; no MetaPipe on loads/stores"),
+        (
+            "dotproduct",
+            "memory-bound; MetaPipe cheaper than Sequential",
+        ),
+        (
+            "outerprod",
+            "BRAM + memory bound; no MetaPipe on loads/stores",
+        ),
         ("gemm", "Pareto designs occupy almost all BRAM"),
         ("tpchq6", "memory-intensive; plateau with tile size"),
         ("blackscholes", "ALM bound (par 16 would be memory bound)"),
@@ -57,10 +63,13 @@ fn main() {
             "alm_frac,dsp_frac,bram_frac,cycles,valid,pareto,pareto_dsp,pareto_bram\n",
         );
         let pareto: std::collections::BTreeSet<usize> = dse.pareto.iter().copied().collect();
-        let dsp_front: std::collections::BTreeSet<usize> =
-            frontier_along(&dse, ResourceAxis::Dsps).into_iter().collect();
+        let dsp_front: std::collections::BTreeSet<usize> = frontier_along(&dse, ResourceAxis::Dsps)
+            .into_iter()
+            .collect();
         let bram_front: std::collections::BTreeSet<usize> =
-            frontier_along(&dse, ResourceAxis::Brams).into_iter().collect();
+            frontier_along(&dse, ResourceAxis::Brams)
+                .into_iter()
+                .collect();
         let mut scatter = Vec::new();
         for (i, p) in dse.points.iter().enumerate() {
             let (a, d, b) = p.area.utilization(target);
@@ -81,7 +90,12 @@ fn main() {
             scatter.push((a, p.cycles, class));
         }
         let path = write_result(&format!("fig5_{}.csv", bench.name()), &csv);
-        println!("\n=== {} ({} pts, wrote {}) ===", bench.name(), dse.points.len(), path.display());
+        println!(
+            "\n=== {} ({} pts, wrote {}) ===",
+            bench.name(),
+            dse.points.len(),
+            path.display()
+        );
         println!("{}", ascii_scatter(&scatter, 64, 16));
 
         // Boundedness: which resource is closest to its capacity across

@@ -71,6 +71,9 @@ fn main() {
         bench.default_params()
     );
     println!("{}", t.render());
-    let path = write_result(&format!("sweep_{}_{}.csv", bench.name(), param), &t.to_csv());
+    let path = write_result(
+        &format!("sweep_{}_{}.csv", bench.name(), param),
+        &t.to_csv(),
+    );
     println!("wrote {}", path.display());
 }

@@ -47,7 +47,10 @@ impl Harness {
     fn cached_estimator(platform: &Platform, seed: u64) -> Estimator {
         let cache = crate::report::results_dir().join(format!(
             "model_{}_{seed:x}.txt",
-            platform.fpga.name.replace(|c: char| !c.is_alphanumeric(), "_")
+            platform
+                .fpga
+                .name
+                .replace(|c: char| !c.is_alphanumeric(), "_")
         ));
         if let Ok(text) = std::fs::read_to_string(&cache) {
             if let Ok(model) = dhdl_estimate::AreaEstimator::from_text(&text) {

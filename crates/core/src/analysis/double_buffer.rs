@@ -40,9 +40,7 @@ pub fn infer(design: &mut Design) {
             // A buffer written in one stage and read in a later stage holds
             // live data across the stage boundary of a pipelined controller,
             // so it must be double-buffered.
-            let crosses = writers
-                .iter()
-                .any(|&w| readers.iter().any(|&r| r > w));
+            let crosses = writers.iter().any(|&w| readers.iter().any(|&r| r > w));
             if crosses {
                 to_mark.push(mem);
             }

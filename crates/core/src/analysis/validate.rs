@@ -64,12 +64,11 @@ pub fn check(design: &Design) -> Result<()> {
                     check_fold(design, f.src, f.accum)?;
                 }
             }
-            NodeKind::ParallelCtrl { stages, .. }
-                if stages.is_empty() => {
-                    return Err(DhdlError::Validation(format!(
-                        "Parallel container {ctrl} has no stages"
-                    )));
-                }
+            NodeKind::ParallelCtrl { stages, .. } if stages.is_empty() => {
+                return Err(DhdlError::Validation(format!(
+                    "Parallel container {ctrl} has no stages"
+                )));
+            }
             NodeKind::TileLoad(t) | NodeKind::TileStore(t) => {
                 check_tile(design, &parents, ctrl, t)?;
             }

@@ -142,9 +142,9 @@ impl DesignBuilder {
 
     fn attach_local(&mut self, id: NodeId) {
         match self.scopes.last_mut() {
-            Some(s) if s.kind == ScopeKind::Pipe => self.error(DhdlError::ScopeViolation(
-                format!("memory {id} declared inside a Pipe body"),
-            )),
+            Some(s) if s.kind == ScopeKind::Pipe => self.error(DhdlError::ScopeViolation(format!(
+                "memory {id} declared inside a Pipe body"
+            ))),
             Some(s) => s.locals.push(id),
             None => self.error(DhdlError::ScopeViolation(format!(
                 "on-chip memory {id} declared outside any controller"

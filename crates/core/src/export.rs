@@ -40,20 +40,12 @@ pub fn to_dot(design: &Design) -> String {
                 }
                 match design.kind(n) {
                     NodeKind::Load { mem, .. } => {
-                        let _ = writeln!(
-                            out,
-                            "  n{} -> n{} [style=dashed];",
-                            mem.index(),
-                            n.index()
-                        );
+                        let _ =
+                            writeln!(out, "  n{} -> n{} [style=dashed];", mem.index(), n.index());
                     }
                     NodeKind::Store { mem, .. } => {
-                        let _ = writeln!(
-                            out,
-                            "  n{} -> n{} [style=dashed];",
-                            n.index(),
-                            mem.index()
-                        );
+                        let _ =
+                            writeln!(out, "  n{} -> n{} [style=dashed];", n.index(), mem.index());
                     }
                     _ => {}
                 }
@@ -97,7 +89,11 @@ fn emit_ctrl(design: &Design, ctrl: NodeId, out: &mut String, depth: usize) {
     let _ = writeln!(out, "{pad}subgraph cluster_{} {{", ctrl.index());
     let _ = writeln!(out, "{pad}  label=\"{}\";", label(design, ctrl));
     // Anchor node so edges can target the cluster.
-    let _ = writeln!(out, "{pad}  n{} [label=\"ctl\", shape=point];", ctrl.index());
+    let _ = writeln!(
+        out,
+        "{pad}  n{} [label=\"ctl\", shape=point];",
+        ctrl.index()
+    );
     for &m in design.locals(ctrl) {
         let _ = writeln!(
             out,

@@ -49,12 +49,12 @@
 
 pub mod analysis;
 mod builder;
-pub mod export;
-pub mod serialize;
 mod design;
 mod error;
+pub mod export;
 mod node;
 mod params;
+pub mod serialize;
 mod types;
 
 pub use builder::DesignBuilder;

@@ -108,8 +108,8 @@ impl PrimOp {
     pub fn all() -> &'static [PrimOp] {
         use PrimOp::*;
         &[
-            Add, Sub, Mul, Div, Rem, Lt, Le, Gt, Ge, Eq, Ne, And, Or, Not, Neg, Abs, Sqrt, Exp,
-            Ln, Min, Max,
+            Add, Sub, Mul, Div, Rem, Lt, Le, Gt, Ge, Eq, Ne, And, Or, Not, Neg, Abs, Sqrt, Exp, Ln,
+            Min, Max,
         ]
     }
 }

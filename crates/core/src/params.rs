@@ -262,7 +262,10 @@ mod tests {
 
     #[test]
     fn divisor_enumeration() {
-        assert_eq!(divisors_in(96, 1, 96), vec![1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 96]);
+        assert_eq!(
+            divisors_in(96, 1, 96),
+            vec![1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 96]
+        );
         assert_eq!(divisors_in(96, 8, 48), vec![8, 12, 16, 24, 32, 48]);
         assert_eq!(divisors_in(7, 1, 7), vec![1, 7]);
         assert!(divisors_in(0, 1, 10).is_empty());

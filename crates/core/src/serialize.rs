@@ -75,10 +75,7 @@ pub fn from_text(text: &str) -> Result<Design> {
         let mut parts = Tok::new(rest);
         let id: u32 = parts.next()?.parse().map_err(|e| bad(&format!("{e}")))?;
         let ty = parse_ty(parts.kv("ty")?)?;
-        let width: u32 = parts
-            .kv("w")?
-            .parse()
-            .map_err(|e| bad(&format!("{e}")))?;
+        let width: u32 = parts.kv("w")?.parse().map_err(|e| bad(&format!("{e}")))?;
         let name_raw = parts.kv("name")?;
         let name = if name_raw.is_empty() {
             None
@@ -86,7 +83,15 @@ pub fn from_text(text: &str) -> Result<Design> {
             Some(unescape(name_raw))
         };
         let kind = parse_kind(&mut parts)?;
-        nodes.push((id, Node { kind, ty, width, name }));
+        nodes.push((
+            id,
+            Node {
+                kind,
+                ty,
+                width,
+                name,
+            },
+        ));
     }
     nodes.sort_by_key(|(id, _)| *id);
     for (i, (id, _)) in nodes.iter().enumerate() {
@@ -103,11 +108,15 @@ fn bad(msg: &str) -> DhdlError {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace(' ', "\\s").replace('\n', "\\n")
+    s.replace('\\', "\\\\")
+        .replace(' ', "\\s")
+        .replace('\n', "\\n")
 }
 
 fn unescape(s: &str) -> String {
-    s.replace("\\n", "\n").replace("\\s", " ").replace("\\\\", "\\")
+    s.replace("\\n", "\n")
+        .replace("\\s", " ")
+        .replace("\\\\", "\\")
 }
 
 fn ids(v: &[NodeId]) -> String {
@@ -235,7 +244,9 @@ impl<'a> Tok<'a> {
     }
 
     fn next(&mut self) -> Result<&'a str> {
-        self.parts.next().ok_or_else(|| bad("unexpected end of line"))
+        self.parts
+            .next()
+            .ok_or_else(|| bad("unexpected end of line"))
     }
 
     fn kv(&mut self, key: &str) -> Result<&'a str> {
@@ -362,10 +373,7 @@ fn parse_kind(parts: &mut Tok<'_>) -> Result<NodeKind> {
     let tag = parts.next()?;
     match tag {
         "Const" => Ok(NodeKind::Const(
-            parts
-                .kv("v")?
-                .parse()
-                .map_err(|e| bad(&format!("{e}")))?,
+            parts.kv("v")?.parse().map_err(|e| bad(&format!("{e}")))?,
         )),
         "Prim" => {
             let op = parse_prim_op(parts.kv("op")?)?;
@@ -387,7 +395,12 @@ fn parse_kind(parts: &mut Tok<'_>) -> Result<NodeKind> {
             value: NodeId::from_raw(parts.kv("val")?.parse().map_err(|e| bad(&format!("{e}")))?),
         }),
         "Iter" => Ok(NodeKind::Iter {
-            ctrl: NodeId::from_raw(parts.kv("ctrl")?.parse().map_err(|e| bad(&format!("{e}")))?),
+            ctrl: NodeId::from_raw(
+                parts
+                    .kv("ctrl")?
+                    .parse()
+                    .map_err(|e| bad(&format!("{e}")))?,
+            ),
             dim: parts.kv("dim")?.parse().map_err(|e| bad(&format!("{e}")))?,
         }),
         "OffChip" => Ok(NodeKind::OffChip {
@@ -396,7 +409,10 @@ fn parse_kind(parts: &mut Tok<'_>) -> Result<NodeKind> {
         "Bram" => Ok(NodeKind::Bram(BramSpec {
             dims: parse_dims(parts.kv("dims")?)?,
             double_buf: parts.kv("db")? == "1",
-            banks: parts.kv("banks")?.parse().map_err(|e| bad(&format!("{e}")))?,
+            banks: parts
+                .kv("banks")?
+                .parse()
+                .map_err(|e| bad(&format!("{e}")))?,
             word_width: parts.kv("ww")?.parse().map_err(|e| bad(&format!("{e}")))?,
             interleave: match parts.kv("il")? {
                 "cyclic" => Interleaving::Cyclic,
@@ -405,11 +421,17 @@ fn parse_kind(parts: &mut Tok<'_>) -> Result<NodeKind> {
             },
         })),
         "Reg" => Ok(NodeKind::Reg(RegSpec {
-            init: parts.kv("init")?.parse().map_err(|e| bad(&format!("{e}")))?,
+            init: parts
+                .kv("init")?
+                .parse()
+                .map_err(|e| bad(&format!("{e}")))?,
             double_buf: parts.kv("db")? == "1",
         })),
         "PQueue" => Ok(NodeKind::PriorityQueue(QueueSpec {
-            depth: parts.kv("depth")?.parse().map_err(|e| bad(&format!("{e}")))?,
+            depth: parts
+                .kv("depth")?
+                .parse()
+                .map_err(|e| bad(&format!("{e}")))?,
             double_buf: parts.kv("db")? == "1",
         })),
         "Pipe" => {
@@ -436,11 +458,8 @@ fn parse_kind(parts: &mut Tok<'_>) -> Result<NodeKind> {
             let pattern = parse_pattern(parts.kv("pat")?)?;
             let stages = parse_ids(parts.kv("stages")?)?;
             let locals = parse_ids(parts.kv("locals")?)?;
-            let fold = parse_triple(parts.kv("fold")?)?.map(|(src, accum, op)| MemFold {
-                src,
-                accum,
-                op,
-            });
+            let fold =
+                parse_triple(parts.kv("fold")?)?.map(|(src, accum, op)| MemFold { src, accum, op });
             let spec = OuterSpec {
                 ctr,
                 par,
@@ -465,7 +484,10 @@ fn parse_kind(parts: &mut Tok<'_>) -> Result<NodeKind> {
                     parts.kv("off")?.parse().map_err(|e| bad(&format!("{e}")))?,
                 ),
                 local: NodeId::from_raw(
-                    parts.kv("local")?.parse().map_err(|e| bad(&format!("{e}")))?,
+                    parts
+                        .kv("local")?
+                        .parse()
+                        .map_err(|e| bad(&format!("{e}")))?,
                 ),
                 offsets: parse_ids(parts.kv("offsets")?)?,
                 tile: parse_dims(parts.kv("tile")?)?,

@@ -19,8 +19,7 @@ use std::fmt;
 /// assert_eq!(q.bits(), 32);
 /// assert!(!q.is_float());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum DType {
     /// Fixed-point number with a sign bit flag, integer bits and fraction bits.
     Fix {
@@ -130,7 +129,6 @@ impl fmt::Display for DType {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

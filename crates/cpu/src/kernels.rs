@@ -43,11 +43,7 @@ fn chunks(n: usize, threads: usize) -> Vec<(usize, usize)> {
 }
 
 /// Parallel map-reduce over index chunks.
-fn par_reduce<R: Send>(
-    n: usize,
-    threads: usize,
-    f: impl Fn(usize, usize) -> R + Sync,
-) -> Vec<R> {
+fn par_reduce<R: Send>(n: usize, threads: usize, f: impl Fn(usize, usize) -> R + Sync) -> Vec<R> {
     let f = &f;
     std::thread::scope(|s| {
         let handles: Vec<_> = chunks(n, threads)
@@ -131,8 +127,7 @@ fn outerprod(inputs: &Arrays, threads: usize) -> Arrays {
     let n = v1.len();
     let rows = par_reduce(n, threads, |lo, hi| {
         let mut out = Vec::with_capacity((hi - lo) * n);
-        for i in lo..hi {
-            let a = v1[i];
+        for &a in &v1[lo..hi] {
             out.extend(v2.iter().map(|&b| (a * b) as f32 as f64));
         }
         out

@@ -5,8 +5,8 @@
 //! Pareto frontier, this module ranks points by throughput per resource
 //! and extracts per-resource frontiers matching each panel of Figure 5.
 
-use crate::search::{DesignPoint, DseResult};
 use crate::pareto::pareto_front;
+use crate::search::{DesignPoint, DseResult};
 use dhdl_target::FpgaTarget;
 
 /// The resource axis of a Figure 5 panel.

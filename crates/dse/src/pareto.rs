@@ -43,11 +43,11 @@ mod tests {
     #[test]
     fn frontier_excludes_dominated_and_invalid() {
         let pts = vec![
-            (10.0, 5.0, true),  // 0: on front
-            (10.0, 6.0, true),  // 1: dominated by 0
-            (5.0, 10.0, true),  // 2: on front (faster)
-            (4.0, 1.0, false),  // 3: invalid, excluded
-            (20.0, 1.0, true),  // 4: on front (smallest)
+            (10.0, 5.0, true), // 0: on front
+            (10.0, 6.0, true), // 1: dominated by 0
+            (5.0, 10.0, true), // 2: on front (faster)
+            (4.0, 1.0, false), // 3: invalid, excluded
+            (20.0, 1.0, true), // 4: on front (smallest)
         ];
         let f = pareto_front(&pts);
         assert_eq!(f, vec![2, 0, 4]);

@@ -144,8 +144,7 @@ where
     let mut pareto = result.pareto.clone();
     let mut discarded = result.discarded;
     for _ in 0..rounds {
-        let frontier: Vec<ParamValues> =
-            pareto.iter().map(|&i| points[i].params.clone()).collect();
+        let frontier: Vec<ParamValues> = pareto.iter().map(|&i| points[i].params.clone()).collect();
         let mut any_new = false;
         for params in frontier {
             for def in space.defs() {
@@ -305,8 +304,11 @@ mod tests {
         let best_after = refined.best().unwrap().cycles;
         assert!(best_after <= best_before, "{best_after} vs {best_before}");
         // No duplicates introduced.
-        let mut names: Vec<String> =
-            refined.points.iter().map(|p| p.params.to_string()).collect();
+        let mut names: Vec<String> = refined
+            .points
+            .iter()
+            .map(|p| p.params.to_string())
+            .collect();
         let n = names.len();
         names.sort();
         names.dedup();

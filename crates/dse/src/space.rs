@@ -23,11 +23,7 @@ impl LegalSpace {
     /// Build the legal subspace of `space` using the divisor pruning rules.
     pub fn new(space: &ParamSpace) -> Self {
         let names = space.defs().iter().map(|d| d.name.clone()).collect();
-        let values = space
-            .defs()
-            .iter()
-            .map(|d| d.kind.legal_values())
-            .collect();
+        let values = space.defs().iter().map(|d| d.kind.legal_values()).collect();
         LegalSpace { names, values }
     }
 

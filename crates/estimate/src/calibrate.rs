@@ -38,30 +38,39 @@ pub fn random_design(seed: u64) -> Design {
     b.sequential(|b| {
         for (bi, plan) in blocks.iter().enumerate() {
             let offs = offs.clone();
-            b.outer(plan.toggle, &[by(size, plan.tile)], plan.outer_par, |b, iters| {
-                let i = iters[0];
-                let mut bufs = Vec::new();
-                for (k, &o) in offs.iter().take(plan.n_inputs).enumerate() {
-                    let t = b.bram(&format!("b{bi}_{k}"), DType::F32, &[plan.tile]);
-                    b.tile_load(o, t, &[i], &[plan.tile], plan.load_par);
-                    bufs.push(t);
-                }
-                let acc = b.reg(&format!("acc{bi}"), DType::F32, 0.0);
-                if plan.reduce {
-                    b.pipe_reduce(&[by(plan.tile, 1)], plan.pipe_par, acc, ReduceOp::Add, |b, it| {
-                        random_body(b, &bufs, it[0], &plan.ops)
-                    });
-                } else {
-                    let out = bufs[0];
-                    b.pipe(&[by(plan.tile, 1)], plan.pipe_par, |b, it| {
-                        let v = random_body(b, &bufs, it[0], &plan.ops);
-                        b.store(out, &[it[0]], v);
-                    });
-                }
-                if plan.store_back {
-                    b.tile_store(offs[0], bufs[0], &[i], &[plan.tile], plan.load_par);
-                }
-            });
+            b.outer(
+                plan.toggle,
+                &[by(size, plan.tile)],
+                plan.outer_par,
+                |b, iters| {
+                    let i = iters[0];
+                    let mut bufs = Vec::new();
+                    for (k, &o) in offs.iter().take(plan.n_inputs).enumerate() {
+                        let t = b.bram(&format!("b{bi}_{k}"), DType::F32, &[plan.tile]);
+                        b.tile_load(o, t, &[i], &[plan.tile], plan.load_par);
+                        bufs.push(t);
+                    }
+                    let acc = b.reg(&format!("acc{bi}"), DType::F32, 0.0);
+                    if plan.reduce {
+                        b.pipe_reduce(
+                            &[by(plan.tile, 1)],
+                            plan.pipe_par,
+                            acc,
+                            ReduceOp::Add,
+                            |b, it| random_body(b, &bufs, it[0], &plan.ops),
+                        );
+                    } else {
+                        let out = bufs[0];
+                        b.pipe(&[by(plan.tile, 1)], plan.pipe_par, |b, it| {
+                            let v = random_body(b, &bufs, it[0], &plan.ops);
+                            b.store(out, &[it[0]], v);
+                        });
+                    }
+                    if plan.store_back {
+                        b.tile_store(offs[0], bufs[0], &[i], &[plan.tile], plan.load_par);
+                    }
+                },
+            );
         }
     });
     b.finish().expect("random calibration designs are valid")
@@ -104,7 +113,9 @@ impl BlockPlan {
             n_inputs: rng.gen_range(1..=n_off),
             reduce: rng.gen_bool(0.5),
             store_back: rng.gen_bool(0.5),
-            ops: (0..n_ops).map(|_| pool[rng.gen_range(0..pool.len())]).collect(),
+            ops: (0..n_ops)
+                .map(|_| pool[rng.gen_range(0..pool.len())])
+                .collect(),
         }
     }
 }

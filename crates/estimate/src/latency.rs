@@ -61,13 +61,7 @@ pub fn estimate_breakdown(design: &Design, platform: &Platform) -> Vec<LatencyEn
     let mut entries = Vec::new();
     // Executions of each controller: product of ancestor effective trip
     // counts (total iterations / par).
-    fn walk(
-        ctx: &Ctx,
-        design: &Design,
-        ctrl: NodeId,
-        execs: f64,
-        entries: &mut Vec<LatencyEntry>,
-    ) {
+    fn walk(ctx: &Ctx, design: &Design, ctrl: NodeId, execs: f64, entries: &mut Vec<LatencyEntry>) {
         let per = ctx.cycles(ctrl);
         entries.push(LatencyEntry {
             ctrl,
@@ -139,7 +133,9 @@ impl Ctx<'_> {
             }
             NodeKind::MetaPipe(s) => {
                 // (N-1) * max(stage) + sum(stages)  (§IV-B).
-                let n = (s.ctr.total_iters() as f64 / f64::from(s.par)).ceil().max(1.0);
+                let n = (s.ctr.total_iters() as f64 / f64::from(s.par))
+                    .ceil()
+                    .max(1.0);
                 let mut stage_times: Vec<f64> = s
                     .stages
                     .iter()
@@ -154,10 +150,7 @@ impl Ctx<'_> {
                 (n - 1.0) * max + sum + CTRL_OVERHEAD
             }
             NodeKind::ParallelCtrl { stages, .. } => {
-                let max = stages
-                    .iter()
-                    .map(|&st| self.cycles(st))
-                    .fold(0.0, f64::max);
+                let max = stages.iter().map(|&st| self.cycles(st)).fold(0.0, f64::max);
                 max + CTRL_OVERHEAD
             }
             NodeKind::TileLoad(t) | NodeKind::TileStore(t) => self.transfer_cycles(ctrl, t),

@@ -58,14 +58,18 @@ impl Estimate {
 
     /// Estimated power draw on `platform` in watts.
     pub fn watts(&self, platform: &Platform) -> f64 {
-        platform.power.watts(&self.area, platform.fpga.fabric_clock_hz)
+        platform
+            .power
+            .watts(&self.area, platform.fpga.fabric_clock_hz)
     }
 
     /// Estimated energy for one execution on `platform`, in joules.
     pub fn joules(&self, platform: &Platform) -> f64 {
-        platform
-            .power
-            .joules(&self.area, platform.fpga.fabric_clock_hz, self.seconds(platform))
+        platform.power.joules(
+            &self.area,
+            platform.fpga.fabric_clock_hz,
+            self.seconds(platform),
+        )
     }
 }
 

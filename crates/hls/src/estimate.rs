@@ -84,7 +84,11 @@ fn estimate_loop(l: &HlsLoop, mode: HlsMode, limits: &ResourceLimits) -> (u64, u
         let ops = unroll(&body);
         let s = modulo_schedule(&ops, limits);
         let iters = l.trip.div_ceil(u64::from(l.unroll.max(1)));
-        (s.latency + s.ii * iters.saturating_sub(1), s.peak_muls, s.ops)
+        (
+            s.latency + s.ii * iters.saturating_sub(1),
+            s.peak_muls,
+            s.ops,
+        )
     } else {
         // Unpipelined: schedule the body once, children recursively;
         // latencies compose multiplicatively with trip counts.

@@ -32,7 +32,7 @@ mod render;
 mod schedule;
 
 pub use binding::{bind_rtl, BindReport};
-pub use render::to_c;
 pub use estimate::{estimate, HlsEstimate, HlsMode};
 pub use kernel::{HlsKernel, HlsLoop, HlsOp, HlsOpKind};
+pub use render::to_c;
 pub use schedule::{list_schedule, modulo_schedule, unroll, FlatOp, ResourceLimits, Schedule};

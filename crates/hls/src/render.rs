@@ -41,7 +41,11 @@ fn render_loop(l: &HlsLoop, out: &mut String, depth: usize, path: &str) {
             HlsOpKind::Div => binop("/", j, op),
             HlsOpKind::Cmp => binop("<", j, op),
         };
-        let acc = if op.accumulate { " /* accumulates */" } else { "" };
+        let acc = if op.accumulate {
+            " /* accumulates */"
+        } else {
+            ""
+        };
         let _ = writeln!(out, "{pad2}{expr}{acc}");
     }
     for (k, child) in l.children.iter().enumerate() {
@@ -88,9 +92,8 @@ mod tests {
 
     #[test]
     fn unpipelined_loops_have_no_pragma() {
-        let k = HlsKernel::new("k").with_loop(
-            HlsLoop::new("L", 8).with_body(vec![HlsOp::new(HlsOpKind::Load, &[])]),
-        );
+        let k = HlsKernel::new("k")
+            .with_loop(HlsLoop::new("L", 8).with_body(vec![HlsOp::new(HlsOpKind::Load, &[])]));
         let c = to_c(&k);
         assert!(!c.contains("#pragma"));
     }

@@ -122,12 +122,7 @@ pub fn list_schedule(ops: &[FlatOp], limits: &ResourceLimits) -> Schedule {
     let mut latency = 0u64;
     let mut peak_muls = 0usize;
     for (i, op) in ops.iter().enumerate() {
-        let ready = op
-            .deps
-            .iter()
-            .map(|&d| finish[d])
-            .max()
-            .unwrap_or(0);
+        let ready = op.deps.iter().map(|&d| finish[d]).max().unwrap_or(0);
         let class = class_of(op.kind);
         let limit = limits.limit(op.kind).max(1);
         let mut t = ready;

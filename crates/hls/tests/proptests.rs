@@ -18,7 +18,9 @@ fn random_nest(outer_trip: u64, inner_trip: u64, body_ops: usize, accumulate: bo
         let last = body.len() - 1;
         body.push(HlsOp::new(HlsOpKind::Add, &[last]).accumulating());
     }
-    let inner = HlsLoop::new("Li", inner_trip).with_body(body).pipelined(true);
+    let inner = HlsLoop::new("Li", inner_trip)
+        .with_body(body)
+        .pipelined(true);
     HlsKernel::new("k").with_loop(
         HlsLoop::new("Lo", outer_trip)
             .with_child(inner)

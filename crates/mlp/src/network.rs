@@ -262,7 +262,7 @@ mod tests {
         let net = Mlp::new(&[11, 6, 1], Activation::Sigmoid, 1);
         assert_eq!(net.input_size(), 11);
         assert_eq!(net.output_size(), 1);
-        assert_eq!(net.weight_count(), 6 * 12 + 1 * 7);
+        assert_eq!(net.weight_count(), 6 * 12 + 7);
         assert_eq!(net.forward(&[0.0; 11]).len(), 1);
     }
 

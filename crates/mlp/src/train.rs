@@ -138,20 +138,20 @@ fn batch_gradients(net: &Mlp, data: &Dataset, grads: &mut [f64]) {
                 *d *= layer.activation.derivative_from_output(y);
             }
             // Weight gradients.
-            for o in 0..layer.outputs {
+            for (o, &delta) in deltas.iter().enumerate().take(layer.outputs) {
                 let row = offset + o * (layer.inputs + 1);
                 for i in 0..layer.inputs {
-                    grads[row + i] += deltas[o] * input[i];
+                    grads[row + i] += delta * input[i];
                 }
-                grads[row + layer.inputs] += deltas[o]; // bias
+                grads[row + layer.inputs] += delta; // bias
             }
             // Propagate deltas to the previous layer.
             if li > 0 {
                 let mut prev = vec![0.0; layer.inputs];
-                for o in 0..layer.outputs {
+                for (o, &delta) in deltas.iter().enumerate().take(layer.outputs) {
                     let row = o * (layer.inputs + 1);
                     for (i, p) in prev.iter_mut().enumerate() {
-                        *p += deltas[o] * layer.weights[row + i];
+                        *p += delta * layer.weights[row + i];
                     }
                 }
                 deltas = prev;

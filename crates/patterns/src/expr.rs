@@ -43,17 +43,23 @@ impl Expr {
         Expr::Bin(op, Box::new(a), Box::new(b))
     }
 
+    // These are plain constructors named after the PrimOps they wrap,
+    // not operator implementations — they take both operands by value
+    // and no `self`, so the `std::ops` traits do not apply.
     /// Addition.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: Expr, b: Expr) -> Expr {
         Expr::bin(PrimOp::Add, a, b)
     }
 
     /// Subtraction.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(a: Expr, b: Expr) -> Expr {
         Expr::bin(PrimOp::Sub, a, b)
     }
 
     /// Multiplication.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(a: Expr, b: Expr) -> Expr {
         Expr::bin(PrimOp::Mul, a, b)
     }
@@ -116,18 +122,13 @@ impl Expr {
     /// fusion to inline a producer map into its consumer).
     pub fn substitute(&self, subs: &[Expr]) -> Expr {
         match self {
-            Expr::In(i) => subs
-                .get(*i)
-                .cloned()
-                .unwrap_or(Expr::In(*i)),
+            Expr::In(i) => subs.get(*i).cloned().unwrap_or(Expr::In(*i)),
             Expr::Const(c) => Expr::Const(*c),
             Expr::Un(op, a) => Expr::un(*op, a.substitute(subs)),
             Expr::Bin(op, a, b) => Expr::bin(*op, a.substitute(subs), b.substitute(subs)),
-            Expr::Mux(c, t, f) => Expr::mux(
-                c.substitute(subs),
-                t.substitute(subs),
-                f.substitute(subs),
-            ),
+            Expr::Mux(c, t, f) => {
+                Expr::mux(c.substitute(subs), t.substitute(subs), f.substitute(subs))
+            }
         }
     }
 

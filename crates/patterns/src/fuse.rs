@@ -40,7 +40,9 @@ pub fn fuse(prog: &PatternProgram) -> PatternProgram {
                     out.ops.push(PatternOp::Map { ins, f, out: *o });
                 }
             }
-            PatternOp::Reduce { op: rop, out: o, .. } => {
+            PatternOp::Reduce {
+                op: rop, out: o, ..
+            } => {
                 out.ops.push(PatternOp::Reduce {
                     ins,
                     f,
@@ -155,8 +157,14 @@ mod tests {
         let p = distance_program();
         let fused = fuse(&p);
         let mut inputs = Map::new();
-        inputs.insert("a".to_string(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
-        inputs.insert("b".to_string(), vec![8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0]);
+        inputs.insert(
+            "a".to_string(),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+        );
+        inputs.insert(
+            "b".to_string(),
+            vec![8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0],
+        );
         let full = p.interpret(&inputs);
         let short = fused.interpret(&inputs);
         assert_eq!(full["dist"], short["dist"]);

@@ -265,6 +265,9 @@ impl PatternProgram {
     /// # Panics
     ///
     /// Panics if a required input is missing or has the wrong length.
+    // The element loops below gather lane `i` from several arrays at
+    // once, which `needless_range_loop` cannot express as an iterator.
+    #[allow(clippy::needless_range_loop)]
     pub fn interpret(&self, inputs: &BTreeMap<String, Vec<f64>>) -> BTreeMap<String, Vec<f64>> {
         let mut store: Vec<Vec<f64>> = Vec::with_capacity(self.arrays.len());
         for spec in &self.arrays {

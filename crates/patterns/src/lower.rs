@@ -116,9 +116,18 @@ pub fn lower(prog: &PatternProgram, name: &str, params: &ParamValues) -> Result<
                         b.tile_store(out_mem, ot, &[base], &[ts], ip);
                     });
                 }
-                PatternOp::Reduce { ins, f, op: rop, out }
+                PatternOp::Reduce {
+                    ins,
+                    f,
+                    op: rop,
+                    out,
+                }
                 | PatternOp::FilterReduce {
-                    ins, f, op: rop, out, ..
+                    ins,
+                    f,
+                    op: rop,
+                    out,
+                    ..
                 } => {
                     let cond = match op {
                         PatternOp::FilterReduce { cond, .. } => Some(cond.clone()),
@@ -239,11 +248,7 @@ mod tests {
         let mut p = PatternProgram::new();
         let x = p.input("x", n, DType::F32);
         let y = p.input("y", n, DType::F32);
-        let ax = p.map(
-            "ax",
-            &[x],
-            Expr::mul(Expr::lit(2.5), Expr::input(0)),
-        );
+        let ax = p.map("ax", &[x], Expr::mul(Expr::lit(2.5), Expr::input(0)));
         p.map("out", &[ax, y], Expr::add(Expr::input(0), Expr::input(1)));
         p
     }

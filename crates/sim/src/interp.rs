@@ -260,11 +260,15 @@ impl<'a> Sim<'a> {
         match self.design.kind(ctrl).clone() {
             NodeKind::Pipe(p) => self.run_pipe(ctrl, &p),
             NodeKind::Sequential(s) => {
-                let dur = self.run_outer(ctrl, &s.ctr, s.par, &s.stages, s.fold, false, start, timed, conc)?;
+                let dur = self.run_outer(
+                    ctrl, &s.ctr, s.par, &s.stages, s.fold, false, start, timed, conc,
+                )?;
                 Ok(dur)
             }
             NodeKind::MetaPipe(s) => {
-                let dur = self.run_outer(ctrl, &s.ctr, s.par, &s.stages, s.fold, true, start, timed, conc)?;
+                let dur = self.run_outer(
+                    ctrl, &s.ctr, s.par, &s.stages, s.fold, true, start, timed, conc,
+                )?;
                 Ok(dur)
             }
             NodeKind::ParallelCtrl { stages, .. } => {
@@ -410,7 +414,12 @@ impl<'a> Sim<'a> {
             }
         }
         // Functional execution over the full iteration space.
-        let dims: Vec<(u64, u64)> = p.ctr.dims.iter().map(|d| (d.trip_count(), d.step)).collect();
+        let dims: Vec<(u64, u64)> = p
+            .ctr
+            .dims
+            .iter()
+            .map(|d| (d.trip_count(), d.step))
+            .collect();
         let iters = self.iter_nodes(ctrl);
         let mut coords = vec![0u64; dims.len()];
         for _ in 0..total {
@@ -496,7 +505,10 @@ impl<'a> Sim<'a> {
                 match self.design.kind(*mem) {
                     NodeKind::PriorityQueue(_) => {
                         // Pop the minimum element.
-                        let q = self.onchip.get_mut(mem).ok_or(SimError::Unevaluated(*mem))?;
+                        let q = self
+                            .onchip
+                            .get_mut(mem)
+                            .ok_or(SimError::Unevaluated(*mem))?;
                         if q.is_empty() {
                             0.0
                         } else {
@@ -520,11 +532,17 @@ impl<'a> Sim<'a> {
                 let idx = self.flat_index(*mem, addr)?;
                 match self.design.kind(*mem) {
                     NodeKind::PriorityQueue(_) => {
-                        let q = self.onchip.get_mut(mem).ok_or(SimError::Unevaluated(*mem))?;
+                        let q = self
+                            .onchip
+                            .get_mut(mem)
+                            .ok_or(SimError::Unevaluated(*mem))?;
                         q.push(mem_ty.quantize(v));
                     }
                     _ => {
-                        let state = self.onchip.get_mut(mem).ok_or(SimError::Unevaluated(*mem))?;
+                        let state = self
+                            .onchip
+                            .get_mut(mem)
+                            .ok_or(SimError::Unevaluated(*mem))?;
                         state[idx] = mem_ty.quantize(v);
                     }
                 }
@@ -553,11 +571,7 @@ impl<'a> Sim<'a> {
         let dims: Vec<u64> = match self.design.kind(mem) {
             NodeKind::Bram(b) => b.dims.clone(),
             NodeKind::Reg(_) | NodeKind::PriorityQueue(_) => return Ok(0),
-            _ => {
-                return Err(SimError::Malformed(format!(
-                    "access to non-memory {mem}"
-                )))
-            }
+            _ => return Err(SimError::Malformed(format!("access to non-memory {mem}"))),
         };
         let mut idx: i64 = 0;
         for (d, &a) in addr.iter().enumerate() {
@@ -888,11 +902,7 @@ mod tests {
             b.tile_load(x, t, &[z], &[16], 1);
         });
         let d = b.finish().unwrap();
-        let r = simulate(
-            &d,
-            &platform(),
-            &Bindings::new().bind("x", vec![1.0; 3]),
-        );
+        let r = simulate(&d, &platform(), &Bindings::new().bind("x", vec![1.0; 3]));
         assert!(matches!(r, Err(SimError::ShapeMismatch { .. })));
     }
 
@@ -914,11 +924,7 @@ mod tests {
             });
         });
         let d = b.finish().unwrap();
-        let r = simulate(
-            &d,
-            &platform(),
-            &Bindings::new().bind("x", vec![100.0; 8]),
-        );
+        let r = simulate(&d, &platform(), &Bindings::new().bind("x", vec![100.0; 8]));
         assert!(matches!(r, Err(SimError::OutOfBounds { .. })), "{r:?}");
     }
 

@@ -121,7 +121,7 @@ mod tests {
         let mut t = DramTimeline::new();
         t.request(0.0, 100.0); // busy [0, 100)
         t.request(150.0, 100.0); // busy [150, 250)
-        // A 100-cycle transfer at 20 does not fit the [100, 150) gap.
+                                 // A 100-cycle transfer at 20 does not fit the [100, 150) gap.
         let d = t.request(20.0, 100.0);
         assert_eq!(d, 250.0 + 100.0 - 20.0);
         // A 40-cycle transfer at 20 does fit the gap.

@@ -105,7 +105,14 @@ pub fn bram_sweep_design(words: u64, banks: u32, double: bool) -> Design {
 /// capacity and banking exactly as the table model predicts.
 pub fn bram_sweep_residual(target: &FpgaTarget) -> f64 {
     let mut worst = 0.0f64;
-    for &(words, banks) in &[(256u64, 1u32), (512, 1), (2048, 1), (512, 4), (2048, 8), (4096, 2)] {
+    for &(words, banks) in &[
+        (256u64, 1u32),
+        (512, 1),
+        (2048, 1),
+        (512, 4),
+        (2048, 8),
+        (4096, 2),
+    ] {
         let design = bram_sweep_design(words, banks, false);
         let net = elaborate(&design, target);
         let modeled = crate::chardata::bram_cost(target, words, 32, banks, false).brams;
@@ -171,7 +178,7 @@ mod tests {
     fn sweep_designs_are_buildable_for_all_ops() {
         for &op in PrimOp::all() {
             let d = primitive_sweep_design(op, DType::F32, 2);
-            assert!(d.len() > 0);
+            assert!(!d.is_empty());
         }
     }
 }

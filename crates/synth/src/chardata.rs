@@ -55,12 +55,9 @@ pub fn prim_cost(op: PrimOp, ty: DType) -> OpCost {
             PrimOp::Sqrt => cost(310.0, 140.0, 700.0, 0.0, 14),
             PrimOp::Exp => cost(480.0, 210.0, 820.0, 4.0, 17),
             PrimOp::Ln => cost(540.0, 230.0, 900.0, 4.0, 19),
-            PrimOp::Lt
-            | PrimOp::Le
-            | PrimOp::Gt
-            | PrimOp::Ge
-            | PrimOp::Eq
-            | PrimOp::Ne => cost(62.0, 12.0, 40.0, 0.0, 1),
+            PrimOp::Lt | PrimOp::Le | PrimOp::Gt | PrimOp::Ge | PrimOp::Eq | PrimOp::Ne => {
+                cost(62.0, 12.0, 40.0, 0.0, 1)
+            }
             PrimOp::Min | PrimOp::Max => cost(95.0, 25.0, 72.0, 0.0, 2),
             PrimOp::Abs | PrimOp::Neg => cost(2.0, 0.0, 2.0, 0.0, 1),
             PrimOp::And | PrimOp::Or | PrimOp::Not => cost(1.0, 0.0, 1.0, 0.0, 1),
@@ -80,12 +77,9 @@ pub fn prim_cost(op: PrimOp, ty: DType) -> OpCost {
             PrimOp::Div | PrimOp::Rem => cost(w * 4.0, w * 2.0, w * 8.0, 0.0, ty.bits() as u64 / 2),
             PrimOp::Sqrt => cost(w * 2.0, w, w * 4.0, 0.0, ty.bits() as u64 / 2),
             PrimOp::Exp | PrimOp::Ln => cost(w * 6.0, w * 2.0, w * 8.0, 2.0, 12),
-            PrimOp::Lt
-            | PrimOp::Le
-            | PrimOp::Gt
-            | PrimOp::Ge
-            | PrimOp::Eq
-            | PrimOp::Ne => cost(w / 2.0, 2.0, 4.0, 0.0, 1),
+            PrimOp::Lt | PrimOp::Le | PrimOp::Gt | PrimOp::Ge | PrimOp::Eq | PrimOp::Ne => {
+                cost(w / 2.0, 2.0, 4.0, 0.0, 1)
+            }
             PrimOp::Min | PrimOp::Max => cost(w, 2.0, w, 0.0, 1),
             PrimOp::Abs | PrimOp::Neg => cost(w / 2.0, 0.0, w / 2.0, 0.0, 1),
             PrimOp::And | PrimOp::Or | PrimOp::Not => cost(w.max(1.0) / 2.0, 0.0, 1.0, 0.0, 1),
@@ -95,7 +89,13 @@ pub fn prim_cost(op: PrimOp, ty: DType) -> OpCost {
 
 /// Cost of one lane of a 2:1 multiplexer on `ty`.
 pub fn mux_cost(ty: DType) -> OpCost {
-    cost(f64::from(ty.bits()) / 2.0, 0.0, f64::from(ty.bits()) / 4.0, 0.0, 1)
+    cost(
+        f64::from(ty.bits()) / 2.0,
+        0.0,
+        f64::from(ty.bits()) / 4.0,
+        0.0,
+        1,
+    )
 }
 
 /// Cost of one lane of an on-chip load/store port: address decode plus the

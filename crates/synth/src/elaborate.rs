@@ -159,13 +159,7 @@ fn visit(design: &Design, target: &FpgaTarget, ctrl: NodeId, rep: f64, acc: &mut
 fn memory_resources(design: &Design, target: &FpgaTarget, mem: NodeId) -> Resources {
     let node = design.node(mem);
     match &node.kind {
-        NodeKind::Bram(b) => bram_cost(
-            target,
-            b.elements(),
-            b.word_width,
-            b.banks,
-            b.double_buf,
-        ),
+        NodeKind::Bram(b) => bram_cost(target, b.elements(), b.word_width, b.banks, b.double_buf),
         NodeKind::Reg(r) => reg_cost(node.ty, r.double_buf),
         NodeKind::PriorityQueue(q) => pqueue_cost(target, node.ty, q.depth, q.double_buf),
         _ => Resources::zero(),

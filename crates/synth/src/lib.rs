@@ -41,8 +41,8 @@
 
 #![warn(missing_docs)]
 
-pub mod chardata;
 pub mod characterize;
+pub mod chardata;
 pub mod elaborate;
 pub mod lowlevel;
 pub mod maxj;

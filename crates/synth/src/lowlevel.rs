@@ -120,11 +120,9 @@ pub fn place_and_route(hash: u64, net: &Netlist, target: &FpgaTarget) -> SynthRe
 
     // Route-through LUTs: grow with utilization, connectivity and memory
     // density (memories are fixed-position blocks that force long routes).
-    let route_frac = (0.050
-        + 0.060 * util
-        + 0.010 * (1.0 + f.edges).ln() / 10.0
-        + 0.055 * bram_density)
-        * noise(hash, 1, 0.12);
+    let route_frac =
+        (0.050 + 0.060 * util + 0.010 * (1.0 + f.edges).ln() / 10.0 + 0.055 * bram_density)
+            * noise(hash, 1, 0.12);
     let luts_route = luts_raw * route_frac.max(0.0);
 
     // Register duplication for fanout reduction (~5%).
@@ -142,7 +140,9 @@ pub fn place_and_route(hash: u64, net: &Netlist, target: &FpgaTarget) -> SynthRe
     // implements multipliers in soft logic instead, producing the high
     // relative DSP errors at low utilization the paper observes (§V-B).
     let dsp_soft_frac = (0.22 * (-raw.dsps / 30.0).exp() * centered(hash, 4).abs()).min(0.9);
-    let dsps = (raw.dsps * (1.0 - dsp_soft_frac)).round().max(if raw.dsps > 0.0 { 1.0 } else { 0.0 });
+    let dsps = (raw.dsps * (1.0 - dsp_soft_frac))
+        .round()
+        .max(if raw.dsps > 0.0 { 1.0 } else { 0.0 });
     let soft_mult_luts = raw.dsps * dsp_soft_frac * 180.0;
 
     // LUT packing: route-throughs are always packable. The placer packs

@@ -125,7 +125,11 @@ impl Gen<'_> {
         match self.design.kind(id).clone() {
             NodeKind::Sequential(s) | NodeKind::MetaPipe(s) => {
                 let kind = self.design.kind(id).template_name();
-                self.line(&format!("// --- {kind} {} (par={}) ---", self.var(id), s.par));
+                self.line(&format!(
+                    "// --- {kind} {} (par={}) ---",
+                    self.var(id),
+                    s.par
+                ));
                 if !s.ctr.is_unit() {
                     self.emit_counter(id, s.ctr.dims.len());
                 }
@@ -216,7 +220,11 @@ impl Gen<'_> {
                     self.dfe_type(id),
                     elems,
                     b.banks,
-                    if b.double_buf { ", double-buffered" } else { "" }
+                    if b.double_buf {
+                        ", double-buffered"
+                    } else {
+                        ""
+                    }
                 ));
             }
             NodeKind::Reg(r) => {
@@ -224,7 +232,11 @@ impl Gen<'_> {
                     "DFEVar {} = Reductions.streamHold(constant.var({}), reset); // Reg{}",
                     self.var(id),
                     r.init,
-                    if r.double_buf { " (double-buffered)" } else { "" }
+                    if r.double_buf {
+                        " (double-buffered)"
+                    } else {
+                        ""
+                    }
                 ));
             }
             NodeKind::PriorityQueue(q) => {

@@ -1,0 +1,112 @@
+//! Off-chip memory channel model.
+//!
+//! The MAIA board exposes DRAM ("LMem") through a burst-oriented command
+//! interface: the kernel issues commands, each covering one contiguous
+//! run of bursts, and the memory controller streams the data back at the
+//! channel's achievable bandwidth. Cycle estimation (§IV-B1) and the
+//! timing simulator both price transfers through this model, so its
+//! quantities are in *fabric* clock cycles.
+
+/// DRAM channel timing and bandwidth parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramModel {
+    /// Theoretical peak bandwidth of the memory interface, bytes/second.
+    pub peak_bytes_per_sec: f64,
+    /// Sustained (achievable) bandwidth seen by the kernel, bytes/second.
+    pub achievable_bytes_per_sec: f64,
+    /// Bytes delivered to the fabric per fabric cycle at the achievable
+    /// bandwidth (`achievable / fabric_clock`).
+    pub bytes_per_cycle: f64,
+    /// Memory burst size in bytes; transfers round up to whole bursts.
+    pub burst_bytes: u64,
+    /// Fabric cycles the controller needs to accept one command.
+    pub command_issue_cycles: u64,
+    /// Fabric cycles from issuing a command to its first data beat
+    /// (controller queue + DRAM access + return path).
+    pub command_latency_cycles: u64,
+}
+
+impl DramModel {
+    /// The MAIA board's LMem: 76.8 GB/s peak across six DDR3 channels, of
+    /// which a single-kernel streaming pattern sustains about 37.5 GB/s —
+    /// 250 bytes per 150 MHz fabric cycle — with 384-byte bursts.
+    pub fn maia() -> Self {
+        DramModel {
+            peak_bytes_per_sec: 76.8e9,
+            achievable_bytes_per_sec: 37.5e9,
+            bytes_per_cycle: 250.0,
+            burst_bytes: 384,
+            command_issue_cycles: 4,
+            command_latency_cycles: 60,
+        }
+    }
+
+    /// Number of whole bursts needed to move `bytes` (transfers round up
+    /// to burst granularity).
+    pub fn transfers(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.burst_bytes.max(1))
+    }
+
+    /// Channel-occupancy cycles for the data phase of one command moving
+    /// `bytes`: whole bursts streamed at the achievable bandwidth.
+    pub fn burst_cycles(&self, bytes: u64) -> f64 {
+        (self.transfers(bytes) * self.burst_bytes) as f64 / self.bytes_per_cycle
+    }
+
+    /// Total cycles of one isolated command moving `bytes`: issue and
+    /// access latency, then the data phase (which can only hide the issue
+    /// slot, not the access latency).
+    pub fn request(&self, bytes: u64) -> f64 {
+        self.command_latency_cycles as f64
+            + self
+                .burst_cycles(bytes)
+                .max(self.command_issue_cycles as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maia_bandwidths() {
+        let d = DramModel::maia();
+        assert_eq!(d.peak_bytes_per_sec, 76.8e9);
+        assert_eq!(d.achievable_bytes_per_sec, 37.5e9);
+        // 37.5 GB/s at the 150 MHz fabric clock is 250 bytes per cycle.
+        assert_eq!(d.achievable_bytes_per_sec / 150e6, d.bytes_per_cycle);
+        assert!(d.achievable_bytes_per_sec < d.peak_bytes_per_sec);
+    }
+
+    #[test]
+    fn burst_arithmetic() {
+        let d = DramModel::maia();
+        assert_eq!(d.transfers(0), 0);
+        assert_eq!(d.transfers(1), 1);
+        assert_eq!(d.transfers(384), 1);
+        assert_eq!(d.transfers(385), 2);
+        assert_eq!(d.transfers(4096), 11); // ceil(4096/384)
+        assert_eq!(d.burst_cycles(0), 0.0);
+        // One burst: 384 bytes at 250 B/cycle.
+        assert!((d.burst_cycles(1) - 384.0 / 250.0).abs() < 1e-12);
+        assert!((d.burst_cycles(384) - 384.0 / 250.0).abs() < 1e-12);
+        // A 4 KiB tile rounds up to 11 bursts.
+        assert!((d.burst_cycles(4096) - 11.0 * 384.0 / 250.0).abs() < 1e-12);
+        // Rounding to bursts never undercuts the raw-bandwidth bound.
+        assert!(d.burst_cycles(4096) >= 4096.0 / 250.0);
+    }
+
+    #[test]
+    fn command_cycles() {
+        let d = DramModel::maia();
+        // A tiny request is latency-bound: issue slot dominates data.
+        assert_eq!(
+            d.request(1),
+            (d.command_latency_cycles + d.command_issue_cycles) as f64
+        );
+        // A large request is bandwidth-bound past the fixed latency.
+        let big = d.request(1 << 20);
+        assert!((big - (d.command_latency_cycles as f64 + d.burst_cycles(1 << 20))).abs() < 1e-9);
+        assert!(d.request(4096) > d.burst_cycles(4096));
+    }
+}

@@ -1,0 +1,95 @@
+//! # dhdl-target — target platform models
+//!
+//! Device models for the platform the toolchain generates accelerators
+//! for: the FPGA fabric ([`FpgaTarget`]), the off-chip memory channel
+//! ([`DramModel`]) and the chip power model ([`PowerModel`]), bundled as a
+//! [`Platform`]. The paper's experiments (§V) run on an Altera Stratix V
+//! GS D8 on a Maxeler MAIA board at a 150 MHz fabric clock; that preset
+//! is [`Platform::maia`].
+//!
+//! Every layer of the toolchain consumes these numbers: template
+//! characterization and the synthesis model (`dhdl-synth`) price
+//! resources against [`FpgaTarget`], cycle estimation and the timing
+//! simulator price transfers against [`DramModel`], and the design space
+//! pruner rejects points whose [`AreaReport`] does not fit the device.
+//!
+//! ```
+//! use dhdl_target::Platform;
+//!
+//! let p = Platform::maia();
+//! assert_eq!(p.fpga.fabric_clock_hz, 150e6);
+//! // 150 M cycles is one second of fabric time.
+//! assert_eq!(p.cycles_to_seconds(150e6), 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod dram;
+mod fpga;
+mod power;
+
+pub use dram::DramModel;
+pub use fpga::{AreaReport, FpgaTarget, Resources};
+pub use power::PowerModel;
+
+/// A complete target platform: FPGA fabric, DRAM channel and power model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// The FPGA device.
+    pub fpga: FpgaTarget,
+    /// The off-chip memory channel.
+    pub dram: DramModel,
+    /// The device power model.
+    pub power: PowerModel,
+}
+
+impl Platform {
+    /// The Maxeler MAIA platform of the paper's experiments: Stratix V
+    /// fabric, 37.5 GB/s achievable LMem bandwidth, Stratix V power.
+    pub fn maia() -> Self {
+        Platform {
+            fpga: FpgaTarget::stratix_v(),
+            dram: DramModel::maia(),
+            power: PowerModel::stratix_v(),
+        }
+    }
+
+    /// Wall-clock seconds of `cycles` fabric cycles.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / self.fpga.fabric_clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maia_wires_the_presets_together() {
+        let p = Platform::maia();
+        assert_eq!(p.fpga, FpgaTarget::stratix_v());
+        assert_eq!(p.dram, DramModel::maia());
+        assert_eq!(p.power, PowerModel::stratix_v());
+    }
+
+    #[test]
+    fn cycles_to_seconds_at_150_mhz() {
+        let p = Platform::maia();
+        assert_eq!(p.cycles_to_seconds(150e6), 1.0);
+        assert_eq!(p.cycles_to_seconds(0.0), 0.0);
+        // One cycle is 6.67 ns.
+        assert!((p.cycles_to_seconds(1.0) - 1.0 / 150e6).abs() < 1e-18);
+        // 1.5 M cycles at 150 MHz is 10 ms.
+        assert!((p.cycles_to_seconds(1.5e6) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn platform_is_cloneable_and_comparable() {
+        let p = Platform::maia();
+        let q = p.clone();
+        assert_eq!(p, q);
+        let mut r = p.clone();
+        r.fpga = FpgaTarget::midrange();
+        assert_ne!(p, r);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the device models: algebraic laws of the resource
+//! vector and monotonicity of the BRAM/DRAM geometry.
+
+use dhdl_target::{DramModel, FpgaTarget, Resources};
+use proptest::prelude::*;
+
+fn resources() -> impl Strategy<Value = Resources> {
+    (
+        0.0..1e6f64,
+        0.0..1e6f64,
+        0.0..1e6f64,
+        0.0..1e4f64,
+        0.0..1e4f64,
+    )
+        .prop_map(
+            |(lut_packable, lut_unpackable, regs, dsps, brams)| Resources {
+                lut_packable,
+                lut_unpackable,
+                regs,
+                dsps,
+                brams,
+            },
+        )
+}
+
+fn close(a: &Resources, b: &Resources) -> bool {
+    let eq = |x: f64, y: f64| (x - y).abs() <= 1e-6 * (1.0 + x.abs() + y.abs());
+    eq(a.lut_packable, b.lut_packable)
+        && eq(a.lut_unpackable, b.lut_unpackable)
+        && eq(a.regs, b.regs)
+        && eq(a.dsps, b.dsps)
+        && eq(a.brams, b.brams)
+}
+
+proptest! {
+    #[test]
+    fn resource_addition_is_commutative(a in resources(), b in resources()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn resource_addition_is_associative(a in resources(), b in resources(), c in resources()) {
+        prop_assert!(close(&((a + b) + c), &(a + (b + c))));
+    }
+
+    #[test]
+    fn zero_is_the_additive_identity(a in resources()) {
+        prop_assert_eq!(a + Resources::zero(), a);
+        prop_assert_eq!(Resources::zero() + a, a);
+        let mut acc = a;
+        acc += Resources::zero();
+        prop_assert_eq!(acc, a);
+    }
+
+    #[test]
+    fn plus_matches_operator(a in resources(), b in resources()) {
+        prop_assert_eq!(a.plus(&b), a + b);
+    }
+
+    #[test]
+    fn brams_hold_at_least_the_requested_bits(depth in 1u64..100_000, bits in 1u32..256) {
+        let t = FpgaTarget::stratix_v();
+        let n = t.brams_for(depth, bits);
+        prop_assert!(n >= 1);
+        // Total capacity of the allocated blocks covers the logical memory.
+        prop_assert!(n * t.bram_bits >= depth * u64::from(bits));
+    }
+
+    #[test]
+    fn brams_for_is_monotone(depth in 1u64..50_000, bits in 1u32..128) {
+        let t = FpgaTarget::stratix_v();
+        let n = t.brams_for(depth, bits);
+        prop_assert!(t.brams_for(depth + 1, bits) >= n);
+        prop_assert!(t.brams_for(depth, bits + 1) >= n);
+    }
+
+    #[test]
+    fn burst_cycles_round_up_to_bursts(bytes in 0u64..10_000_000) {
+        let d = DramModel::maia();
+        let cycles = d.burst_cycles(bytes);
+        // Never faster than the achievable bandwidth allows...
+        prop_assert!(cycles >= bytes as f64 / d.bytes_per_cycle - 1e-9);
+        // ...and never more than one extra burst of rounding.
+        prop_assert!(cycles <= (bytes + d.burst_bytes) as f64 / d.bytes_per_cycle);
+        prop_assert_eq!(d.transfers(bytes), bytes.div_ceil(d.burst_bytes));
+    }
+}

@@ -41,10 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = simulate(&design, &platform, &bindings)?;
     let out = sim.output("out")?;
     let expected = &saxpy.reference()["out"];
-    assert!(out
-        .iter()
-        .zip(expected)
-        .all(|(a, b)| (a - b).abs() < 1e-6));
+    assert!(out.iter().zip(expected).all(|(a, b)| (a - b).abs() < 1e-6));
     println!(
         "saxpy validated: {} elements in {:.3} ms",
         out.len(),

@@ -13,10 +13,7 @@ use dhdl_suite::target::Platform;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let platform = Platform::maia();
     let bench = Gda::default();
-    println!(
-        "GDA ({}), parameters from Figure 3:",
-        bench.dataset_desc()
-    );
+    println!("GDA ({}), parameters from Figure 3:", bench.dataset_desc());
     for def in bench.param_space().defs() {
         println!(
             "  {:4}  legal values: {:?}",
@@ -24,10 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             def.kind.legal_values()
         );
     }
-    println!(
-        "legal design space: {} points",
-        bench.param_space().size()
-    );
+    println!("legal design space: {} points", bench.param_space().size());
 
     println!("\ncalibrating estimator...");
     let estimator = Estimator::calibrate(&platform, 7);
@@ -42,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.discarded,
         result.pareto.len()
     );
-    println!("{:<55} {:>12} {:>10} {:>8}", "params", "cycles", "ALMs", "valid");
+    println!(
+        "{:<55} {:>12} {:>10} {:>8}",
+        "params", "cycles", "ALMs", "valid"
+    );
     for p in result.pareto_points().take(12) {
         println!(
             "{:<55} {:>12.0} {:>10.0} {:>8}",

@@ -1,6 +1,6 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Regenerate every table and figure of the evaluation (EXPERIMENTS.md).
-set -e
+set -euo pipefail
 cargo build --release --workspace
 for b in table2 table3 table4 fig5 fig6 energy ablations; do
   echo "=== $b ==="

@@ -16,7 +16,7 @@ fn mini_harness() -> Harness {
 fn mini_table3_errors_are_single_digit_ish() {
     let harness = mini_harness();
     let bench = dhdl_apps::DotProduct::new(9_600);
-    
+
     let dse = harness.explore(&bench);
     let picks = harness.pareto_sample(&dse, 3);
     assert!(!picks.is_empty());
@@ -73,7 +73,6 @@ fn mini_table4_ordering_holds() {
 
 #[test]
 fn mini_fig5_scatter_renders() {
-    
     let harness = mini_harness();
     let bench = dhdl_apps::BlackScholes::new(4_608);
     let dse = harness.explore(&bench);
@@ -124,10 +123,11 @@ fn mini_energy_fpga_wins() {
     let design = bench.build(&best.params).unwrap();
     let sim = harness.simulate(&bench, &design);
     let area = dhdl_synth::synthesize(&design, &harness.platform.fpga).area_report();
-    let fpga_j = harness
-        .platform
-        .power
-        .joules(&area, harness.platform.fpga.fabric_clock_hz, sim.seconds(&harness.platform));
+    let fpga_j = harness.platform.power.joules(
+        &area,
+        harness.platform.fpga.fabric_clock_hz,
+        sim.seconds(&harness.platform),
+    );
     let cpu_j = 95.0 * XeonModel::default().seconds(&bench.work());
     assert!(
         cpu_j / fpga_j > 10.0,

@@ -2,7 +2,9 @@
 //! must match its reference implementation (small instances, multiple
 //! parameter points including both MetaPipe-toggle settings).
 
-use dhdl_apps::{Benchmark, BlackScholes, DotProduct, Gda, Gemm, KMeans, OuterProduct, Saxpy, TpchQ6};
+use dhdl_apps::{
+    Benchmark, BlackScholes, DotProduct, Gda, Gemm, KMeans, OuterProduct, Saxpy, TpchQ6,
+};
 use dhdl_core::ParamValues;
 use dhdl_sim::{simulate, Bindings, SimResult};
 use dhdl_target::Platform;
@@ -104,7 +106,10 @@ fn tpchq6_matches_reference() {
 #[test]
 fn blackscholes_matches_reference() {
     let b = BlackScholes::new(192);
-    let p = ParamValues::new().with("ts", 96).with("ip", 2).with("mp", 1);
+    let p = ParamValues::new()
+        .with("ts", 96)
+        .with("ip", 2)
+        .with("mp", 1);
     // f32 CND evaluation accumulates a few ulps of error vs. the f64
     // reference; prices are O(10), so 1e-4 relative is ~millicents.
     assert_outputs_match(&b, &p, 1e-3);
@@ -143,7 +148,10 @@ fn kmeans_matches_reference() {
 #[test]
 fn saxpy_matches_reference() {
     let b = Saxpy::new(384, 1.5);
-    let p = ParamValues::new().with("ts", 96).with("ip", 4).with("mp", 1);
+    let p = ParamValues::new()
+        .with("ts", 96)
+        .with("ip", 4)
+        .with("mp", 1);
     assert_outputs_match(&b, &p, 1e-9);
 }
 

@@ -1,0 +1,448 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of the `proptest 1.x` API its tests use:
+//! the [`proptest!`] macro (with `pat in strategy` and `name: Type`
+//! parameters and an optional `#![proptest_config(..)]` header),
+//! [`prop_assert!`] / [`prop_assert_eq!`], range and tuple strategies,
+//! [`any`], `prop::collection::vec`, and [`Strategy::prop_map`].
+//!
+//! Semantics are simplified relative to upstream: cases are generated
+//! from a fixed deterministic seed and failures are reported without
+//! shrinking. For the regression-style property tests in this workspace
+//! (deterministic code, no persistence files) that is sufficient.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+
+/// Items meant to be glob-imported by tests.
+pub mod prelude {
+    /// Alias so `prop::collection::vec(..)` resolves, as with upstream's
+    /// prelude.
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the heavier workspace
+        // properties (which train networks and run simulators) quick
+        // while still exercising a spread of inputs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property-test assertion.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Build a failure carrying `msg`.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The deterministic generator driving value strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator for one test case.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5dee_ce66_d1ce_4e5b,
+        }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, bound)` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy applying `f` to every generated value.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical whole-domain strategy, used by [`any`] and the
+/// `name: Type` parameter form of [`proptest!`].
+pub trait Arbitrary: Sized {
+    /// Produce one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_arbitrary_float {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Finite values across a broad but well-conditioned span.
+                ((rng.unit_f64() * 2.0 - 1.0) * 1e9) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_float!(f32, f64);
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Numeric types whose ranges act as strategies.
+pub trait RangeValue: Copy + PartialOrd {
+    /// A uniform value from `[lo, hi)`, or `[lo, hi]` when `inclusive`.
+    fn in_range(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_range_value_int {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn in_range(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let (lo_w, hi_w) = (lo as i128, hi as i128);
+                let span = (hi_w - lo_w) + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "empty range strategy");
+                let wide = (rng.next_u64() as u128).wrapping_mul(span as u128);
+                (lo_w + (wide >> 64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_value_float {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn in_range(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                assert!(lo < hi || (inclusive && lo == hi), "empty range strategy");
+                lo + (hi - lo) * (rng.unit_f64() as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_value_float!(f32, f64);
+
+impl<T: RangeValue> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::in_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: RangeValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::in_range(rng, *self.start(), *self.end(), true)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_tuple!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+/// Declare property tests.
+///
+/// Supports the upstream surface used in this workspace: an optional
+/// `#![proptest_config(expr)]` header, doc comments and attributes on
+/// each test, and parameters written either as `pattern in strategy` or
+/// as `name: Type` (shorthand for `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: one test item per recursion.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            // Per-test deterministic seed, varied per case.
+            let __base = {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in concat!(module_path!(), "::", stringify!($name)).bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+                h
+            };
+            for __case in 0..u64::from(__config.cases) {
+                let mut __rng = $crate::TestRng::new(__base ^ __case.wrapping_mul(0x9e37_79b9));
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $crate::__proptest_bind!(__rng $($params)*);
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "property {} failed on case {}/{}: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: bind one parameter at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident) => {};
+    ($rng:ident,) => {};
+    ($rng:ident $pat:pat in $strat:expr) => {
+        let $pat = $crate::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng $($rest)*);
+    };
+    ($rng:ident $name:ident : $ty:ty) => {
+        let $name = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+    };
+    ($rng:ident $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+        $crate::__proptest_bind!($rng $($rest)*);
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, "assertion failed: `{:?}` == `{:?}`", __l, __r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..500 {
+            let v = (3u32..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let (a, b) = ((0.0f64..1.0), (10i64..=12)).generate(&mut rng);
+            assert!((0.0..1.0).contains(&a));
+            assert!((10..=12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = crate::TestRng::new(2);
+        let s = (1u32..5).prop_map(|v| v * 10);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_len() {
+        let mut rng = crate::TestRng::new(3);
+        for _ in 0..100 {
+            let v = prop::collection::vec(0.0f64..1.0, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            let w = prop::collection::vec(0u8..10, 3).generate(&mut rng);
+            assert_eq!(w.len(), 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: mixed parameter forms and assertions.
+        #[test]
+        fn macro_binds_all_parameter_forms(
+            x in 1u64..100,
+            flag: bool,
+            pair in (0.0f64..1.0, 0u32..4),
+        ) {
+            prop_assert!(x >= 1);
+            prop_assert!(x < 100, "x was {}", x);
+            prop_assert_eq!(flag, flag);
+            prop_assert_ne!(pair.0, 2.0);
+        }
+    }
+}
