@@ -164,10 +164,9 @@ fn explore(bench: &dyn dhdl_apps::Benchmark, rest: &[String]) {
     let harness = Harness::new(0xC12, points);
     let dse = harness.explore(bench);
     println!(
-        "space {} points; evaluated {}, {} discarded, {} Pareto-optimal:",
+        "space {} points; {}; {} Pareto-optimal:",
         dse.space_size,
-        dse.points.len(),
-        dse.discarded,
+        dse.counts.summary(),
         dse.pareto.len()
     );
     let mut t = Table::new(&["params", "cycles", "ALMs", "DSPs", "BRAMs"]);

@@ -33,6 +33,7 @@ fn main() {
         "evaluated",
         "valid",
         "pareto",
+        "discards b/m/e",
         "binding resource on front",
         "best-design class",
         "paper's finding",
@@ -96,6 +97,16 @@ fn main() {
             dse.points.len(),
             path.display()
         );
+        // Per-category outcome accounting: point loss is never silent.
+        println!(
+            "sweep outcomes: {}{}",
+            dse.counts.summary(),
+            if dse.truncated {
+                " [TRUNCATED by deadline; resumable]"
+            } else {
+                ""
+            }
+        );
         println!("{}", ascii_scatter(&scatter, 64, 16));
 
         // Boundedness: which resource is closest to its capacity across
@@ -136,6 +147,13 @@ fn main() {
             dse.points.len().to_string(),
             valid.to_string(),
             dse.pareto.len().to_string(),
+            format!(
+                "{}/{}/{}{}",
+                dse.counts.build_failed,
+                dse.counts.mem_cap,
+                dse.counts.eval_failed,
+                if dse.truncated { " (truncated)" } else { "" }
+            ),
             format!("{} ({})", names[bi], pct(*bu)),
             class,
             finding.to_string(),

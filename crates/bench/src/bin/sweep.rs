@@ -37,10 +37,13 @@ fn main() {
         "W",
         "fits",
     ]);
+    let mut evaluated = 0usize;
+    let mut build_failed = 0usize;
     for value in def.kind.legal_values() {
         let mut p = bench.default_params();
         p.set(param, value);
         let Ok(design) = bench.build(&p) else {
+            build_failed += 1;
             t.row(&[
                 value.to_string(),
                 "(build failed)".into(),
@@ -53,6 +56,7 @@ fn main() {
             ]);
             continue;
         };
+        evaluated += 1;
         let est = harness.estimator.estimate(&design);
         t.row(&[
             value.to_string(),
@@ -71,6 +75,8 @@ fn main() {
         bench.default_params()
     );
     println!("{}", t.render());
+    // Point-loss accounting, mirroring the resilient runner's counters.
+    println!("sweep outcomes: {evaluated} evaluated, {build_failed} build-failed");
     let path = write_result(
         &format!("sweep_{}_{}.csv", bench.name(), param),
         &t.to_csv(),

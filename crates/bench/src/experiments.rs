@@ -30,15 +30,32 @@ impl Harness {
     /// results directory, mirroring the paper's "characterized once for a
     /// given target device and toolchain" workflow: the first run per seed
     /// trains; later runs load in milliseconds.
+    ///
+    /// Sweep resilience knobs come from the environment so every
+    /// experiment driver shares them: `DHDL_DSE_THREADS` (worker
+    /// threads, 0 = all cores), `DHDL_DSE_DEADLINE_MS` (wall-clock
+    /// budget per sweep), and `DHDL_DSE_CHECKPOINT=1` (stream progress
+    /// to `results/checkpoints/<bench>.ckpt` so interrupted sweeps
+    /// resume).
     pub fn new(seed: u64, dse_points: usize) -> Self {
         let platform = Platform::maia();
         let estimator = Self::cached_estimator(&platform, seed);
+        let threads = std::env::var("DHDL_DSE_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let deadline = std::env::var("DHDL_DSE_DEADLINE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .map(std::time::Duration::from_millis);
         Harness {
             platform,
             estimator,
             dse: DseOptions {
                 max_points: dse_points,
                 seed,
+                threads,
+                deadline,
                 ..DseOptions::default()
             },
         }
@@ -65,14 +82,37 @@ impl Harness {
         estimator
     }
 
-    /// Explore a benchmark's design space with the harness settings.
+    /// Explore a benchmark's design space with the harness settings on
+    /// the resilient parallel runner. With `DHDL_DSE_CHECKPOINT=1`,
+    /// progress streams to `results/checkpoints/<bench>.ckpt`: an
+    /// interrupted sweep (crash, kill, or `DHDL_DSE_DEADLINE_MS` expiry)
+    /// resumes from there on the next run, and a completed sweep cleans
+    /// its checkpoint up.
     pub fn explore(&self, bench: &dyn Benchmark) -> DseResult {
-        explore(
+        let mut opts = self.dse.clone();
+        if std::env::var("DHDL_DSE_CHECKPOINT").is_ok_and(|v| v != "0" && !v.is_empty()) {
+            opts.checkpoint = Some(
+                crate::report::results_dir()
+                    .join("checkpoints")
+                    .join(format!("{}.ckpt", bench.name())),
+            );
+        }
+        let result = explore(
             |p| bench.build(p),
             &bench.param_space(),
             &self.estimator,
-            &self.dse,
-        )
+            &opts,
+        );
+        if result.truncated {
+            eprintln!(
+                "warning: {} sweep truncated by deadline ({} of {} points skipped); \
+                 re-run with DHDL_DSE_CHECKPOINT=1 to resume",
+                bench.name(),
+                result.counts.skipped,
+                result.counts.skipped + result.counts.evaluated + result.discarded
+            );
+        }
+        result
     }
 
     /// Pick up to `n` spread-out Pareto points from a DSE result.

@@ -1,0 +1,378 @@
+//! Streaming sweep checkpoints: an interrupted exploration resumes
+//! without re-evaluating completed points.
+//!
+//! The checkpoint is a line-oriented text file. A header pins the sweep
+//! configuration (sampling seed, point budget, memory cap, legal-space
+//! size and parameter names); one record per completed point follows,
+//! appended and flushed as workers finish so a kill at any moment loses
+//! at most the points in flight. Floating-point fields are stored as IEEE
+//! bit patterns in hex, so a resumed sweep reconstructs *bit-identical*
+//! [`DesignPoint`]s and the final result equals an uninterrupted run's.
+//!
+//! A checkpoint whose header does not match the current sweep (different
+//! seed, budget, cap or parameter space) is considered stale and
+//! overwritten; a torn trailing record (from a mid-write kill) is
+//! ignored. Completed sweeps delete their checkpoint, so only
+//! interrupted runs leave one behind.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use dhdl_core::{ParamSpace, ParamValues};
+use dhdl_target::AreaReport;
+
+use crate::runner::{DseError, PointOutcome};
+use crate::search::{DesignPoint, DseOptions};
+
+const MAGIC: &str = "dhdl-dse-checkpoint v1";
+
+/// An open sweep checkpoint: previously completed outcomes plus an
+/// append handle for streaming new ones.
+#[derive(Debug)]
+pub struct Checkpoint {
+    path: PathBuf,
+    param_names: Vec<String>,
+    done: BTreeMap<usize, PointOutcome>,
+    file: Mutex<File>,
+}
+
+impl Checkpoint {
+    /// Open (resuming) or create (fresh) the checkpoint at `path` for a
+    /// sweep over `space` with `opts`. An existing file with a matching
+    /// header yields its completed outcomes; a stale or unreadable file
+    /// is replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file (or its parent directory) cannot be
+    /// created or opened.
+    pub fn open(
+        path: &Path,
+        space: &ParamSpace,
+        opts: &DseOptions,
+        space_size: u128,
+    ) -> io::Result<Checkpoint> {
+        let param_names: Vec<String> = space.defs().iter().map(|d| d.name.clone()).collect();
+        let header = header_lines(opts, space_size, &param_names);
+        if let Some(done) = try_resume(path, &header, &param_names) {
+            let file = OpenOptions::new().append(true).open(path)?;
+            return Ok(Checkpoint {
+                path: path.to_path_buf(),
+                param_names,
+                done,
+                file: Mutex::new(file),
+            });
+        }
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = File::create(path)?;
+        file.write_all(header.join("\n").as_bytes())?;
+        file.write_all(b"\n")?;
+        Ok(Checkpoint {
+            path: path.to_path_buf(),
+            param_names,
+            done: BTreeMap::new(),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Outcomes restored from a previous interrupted run, keyed by
+    /// sample index.
+    pub fn completed(&self) -> &BTreeMap<usize, PointOutcome> {
+        &self.done
+    }
+
+    /// Number of restored outcomes.
+    pub fn restored(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Append one finished outcome. Failures are reported to stderr but
+    /// never interrupt the sweep: a broken checkpoint only costs resume
+    /// coverage, not results.
+    pub(crate) fn append(&self, index: usize, outcome: &PointOutcome) {
+        let Some(line) = record_line(index, outcome, &self.param_names) else {
+            return; // Skipped points are re-claimed by the resumed run.
+        };
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        if let Err(e) = file.write_all(line.as_bytes()) {
+            eprintln!(
+                "warning: checkpoint append to {} failed: {e}",
+                self.path.display()
+            );
+        }
+    }
+
+    /// Delete the checkpoint file (called after a complete, untruncated
+    /// sweep).
+    pub fn remove(self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn header_lines(opts: &DseOptions, space_size: u128, param_names: &[String]) -> Vec<String> {
+    vec![
+        MAGIC.to_string(),
+        format!(
+            "seed={:x} max_points={} mem_cap_bits={} space_size={}",
+            opts.seed, opts.max_points, opts.mem_cap_bits, space_size
+        ),
+        format!("params={}", param_names.join(" ")),
+    ]
+}
+
+/// Parse an existing checkpoint, returning its completed outcomes if the
+/// header matches the current sweep configuration.
+fn try_resume(
+    path: &Path,
+    header: &[String],
+    param_names: &[String],
+) -> Option<BTreeMap<usize, PointOutcome>> {
+    let mut text = String::new();
+    File::open(path).ok()?.read_to_string(&mut text).ok()?;
+    let mut lines = text.lines();
+    for expected in header {
+        if lines.next() != Some(expected.as_str()) {
+            return None;
+        }
+    }
+    let mut done = BTreeMap::new();
+    for line in lines {
+        // A torn trailing record (kill mid-write) parses as None; stop
+        // there and let the resumed run redo that point.
+        match parse_record(line, param_names) {
+            Some((idx, outcome)) => {
+                done.insert(idx, outcome);
+            }
+            None => break,
+        }
+    }
+    Some(done)
+}
+
+/// Serialize one outcome as a checkpoint record line (with trailing
+/// newline). Skipped points produce no record.
+fn record_line(index: usize, outcome: &PointOutcome, param_names: &[String]) -> Option<String> {
+    let line = match outcome {
+        PointOutcome::Evaluated { point, attempts } => {
+            let values: Vec<String> = param_names
+                .iter()
+                .map(|n| {
+                    point
+                        .params
+                        .get(n)
+                        .map_or("-".to_string(), |v| v.to_string())
+                })
+                .collect();
+            format!(
+                "P {index} {attempts} {} {:016x} {:016x} {:016x} {:016x} {:016x} {}\n",
+                u8::from(point.valid),
+                point.cycles.to_bits(),
+                point.area.alms.to_bits(),
+                point.area.regs.to_bits(),
+                point.area.dsps.to_bits(),
+                point.area.brams.to_bits(),
+                values.join(" ")
+            )
+        }
+        PointOutcome::Discarded(DseError::Build(msg)) => {
+            format!("D {index} build {}\n", flatten(msg))
+        }
+        PointOutcome::Discarded(DseError::MemCap { bits, cap_bits }) => {
+            format!("D {index} memcap {bits} {cap_bits}\n")
+        }
+        PointOutcome::Discarded(DseError::Panic { attempts, message }) => {
+            format!("D {index} panic {attempts} {}\n", flatten(message))
+        }
+        PointOutcome::Discarded(DseError::NonFinite { attempts }) => {
+            format!("D {index} nonfinite {attempts}\n")
+        }
+        PointOutcome::Skipped => return None,
+    };
+    Some(line)
+}
+
+/// Parse one record line; `None` on any malformation.
+fn parse_record(line: &str, param_names: &[String]) -> Option<(usize, PointOutcome)> {
+    let mut fields = line.split(' ');
+    let tag = fields.next()?;
+    let index: usize = fields.next()?.parse().ok()?;
+    match tag {
+        "P" => {
+            let attempts: u32 = fields.next()?.parse().ok()?;
+            let valid = match fields.next()? {
+                "0" => false,
+                "1" => true,
+                _ => return None,
+            };
+            let mut bits = || -> Option<f64> {
+                Some(f64::from_bits(
+                    u64::from_str_radix(fields.next()?, 16).ok()?,
+                ))
+            };
+            let cycles = bits()?;
+            let area = AreaReport {
+                alms: bits()?,
+                regs: bits()?,
+                dsps: bits()?,
+                brams: bits()?,
+            };
+            let mut params = ParamValues::new();
+            for name in param_names {
+                let raw = fields.next()?;
+                if raw != "-" {
+                    params.set(name, raw.parse().ok()?);
+                }
+            }
+            if fields.next().is_some() {
+                return None;
+            }
+            Some((
+                index,
+                PointOutcome::Evaluated {
+                    point: DesignPoint {
+                        params,
+                        cycles,
+                        area,
+                        valid,
+                    },
+                    attempts,
+                },
+            ))
+        }
+        "D" => {
+            let kind = fields.next()?;
+            let rest = |fields: std::str::Split<'_, char>| -> String {
+                fields.collect::<Vec<_>>().join(" ")
+            };
+            let error = match kind {
+                "build" => DseError::Build(rest(fields)),
+                "memcap" => DseError::MemCap {
+                    bits: fields.next()?.parse().ok()?,
+                    cap_bits: fields.next()?.parse().ok()?,
+                },
+                "panic" => {
+                    let attempts: u32 = fields.next()?.parse().ok()?;
+                    DseError::Panic {
+                        attempts,
+                        message: rest(fields),
+                    }
+                }
+                "nonfinite" => DseError::NonFinite {
+                    attempts: fields.next()?.parse().ok()?,
+                },
+                _ => return None,
+            };
+            Some((index, PointOutcome::Discarded(error)))
+        }
+        _ => None,
+    }
+}
+
+/// Newlines would tear the line-oriented format; spaces are fine because
+/// messages are always the trailing field.
+fn flatten(msg: &str) -> String {
+    msg.replace(['\n', '\r'], " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names() -> Vec<String> {
+        vec!["par".to_string(), "tile".to_string()]
+    }
+
+    fn sample_point() -> PointOutcome {
+        PointOutcome::Evaluated {
+            point: DesignPoint {
+                params: ParamValues::new().with("par", 4).with("tile", 64),
+                cycles: 123456.75,
+                area: AreaReport {
+                    alms: 1.5,
+                    regs: 2.25,
+                    dsps: 0.0,
+                    brams: 7.125,
+                },
+                valid: true,
+            },
+            attempts: 2,
+        }
+    }
+
+    #[test]
+    fn records_roundtrip_bit_exactly() {
+        let outcomes = [
+            sample_point(),
+            PointOutcome::Discarded(DseError::Build("missing parameter `p`".into())),
+            PointOutcome::Discarded(DseError::MemCap {
+                bits: 9000,
+                cap_bits: 8192,
+            }),
+            PointOutcome::Discarded(DseError::Panic {
+                attempts: 3,
+                message: "index out of\nbounds".into(),
+            }),
+            PointOutcome::Discarded(DseError::NonFinite { attempts: 3 }),
+        ];
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let line = record_line(i, outcome, &names()).unwrap();
+            let (idx, parsed) = parse_record(line.trim_end(), &names()).unwrap();
+            assert_eq!(idx, i);
+            match (&parsed, outcome) {
+                // Newlines are flattened; everything else is exact.
+                (
+                    PointOutcome::Discarded(DseError::Panic { message, .. }),
+                    PointOutcome::Discarded(DseError::Panic { .. }),
+                ) => assert_eq!(message, "index out of bounds"),
+                _ => assert_eq!(&parsed, outcome),
+            }
+        }
+    }
+
+    #[test]
+    fn skipped_points_have_no_record() {
+        assert!(record_line(0, &PointOutcome::Skipped, &names()).is_none());
+    }
+
+    #[test]
+    fn torn_and_malformed_records_are_rejected() {
+        let good = record_line(3, &sample_point(), &names()).unwrap();
+        let torn = &good[..good.len() / 2];
+        assert!(parse_record(torn.trim_end(), &names()).is_none());
+        assert!(parse_record("X 1 nonsense", &names()).is_none());
+        assert!(parse_record("", &names()).is_none());
+    }
+
+    #[test]
+    fn stale_header_is_not_resumed() {
+        let dir = std::env::temp_dir().join(format!("dhdl-ckpt-test-{}", std::process::id()));
+        let path = dir.join("stale.ckpt");
+        let mut space = ParamSpace::new();
+        space.tile("tile", 64, 4, 64);
+        space.par("par", 8, 8);
+        let opts = DseOptions {
+            max_points: 10,
+            ..DseOptions::default()
+        };
+        let ckpt = Checkpoint::open(&path, &space, &opts, 99).unwrap();
+        ckpt.append(0, &sample_point());
+        drop(ckpt);
+        // Same config resumes; different seed does not.
+        let resumed = Checkpoint::open(&path, &space, &opts, 99).unwrap();
+        assert_eq!(resumed.restored(), 1);
+        drop(resumed);
+        let other = DseOptions {
+            seed: opts.seed + 1,
+            ..opts
+        };
+        let fresh = Checkpoint::open(&path, &space, &other, 99).unwrap();
+        assert_eq!(fresh.restored(), 0);
+        fresh.remove();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,287 @@
+//! Deterministic fault injection for the sweep runner.
+//!
+//! The runner's panic isolation, retry and deadline paths are worthless
+//! if nothing ever exercises them, so this harness ships with the crate:
+//! [`FaultInjector`] wraps any [`CostModel`] and injects panics, NaN
+//! estimates and latency spikes at configurable rates. Injection
+//! decisions are *seed-driven and keyed by design hash*, not by call
+//! order, so a given (seed, design) pair faults identically regardless
+//! of thread count, evaluation order, or how many other designs the
+//! sweep contains — which is what lets tests assert that a faulty sweep
+//! produces the exact Pareto front of a fault-free one.
+//!
+//! By default faults are *transient*: a design faults on its first
+//! evaluation attempt and succeeds on retry, modeling the flaky-point
+//! behavior the retry budget exists for. Set
+//! [`FaultConfig::transient`] to `false` for hard faults that exhaust
+//! the retries and land in [`crate::DseError`] records instead.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use dhdl_core::Design;
+use dhdl_estimate::Estimate;
+use dhdl_target::Platform;
+
+use crate::runner::CostModel;
+
+/// A hash over the full node-level structure of a design, so that any
+/// two designs differing in any parameter (tile sizes, loop bounds,
+/// parallelization, banking) key different injection decisions.
+/// (`dhdl_synth::design_hash` is too coarse here: it models per-design
+/// tool noise and collapses many distinct design points.)
+fn design_hash(design: &Design) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    mix(design.name().as_bytes());
+    for (id, node) in design.iter() {
+        // Debug formatting is deterministic and covers every field of
+        // every template spec.
+        mix(format!("{id:?}{node:?}").as_bytes());
+    }
+    h
+}
+
+/// Fault rates and behavior for a [`FaultInjector`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seed mixed into every injection decision.
+    pub seed: u64,
+    /// Fraction of designs whose evaluation panics, in `[0, 1]`.
+    pub panic_rate: f64,
+    /// Fraction of designs whose estimate comes back NaN, in `[0, 1]`.
+    pub nan_rate: f64,
+    /// Fraction of designs whose evaluation stalls for
+    /// [`FaultConfig::spike`], in `[0, 1]`.
+    pub spike_rate: f64,
+    /// Stall duration for latency-spike faults.
+    pub spike: Duration,
+    /// When `true` (the default), a design faults only on its first
+    /// evaluation attempt and recovers on retry; when `false`, it faults
+    /// on every attempt.
+    pub transient: bool,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0xFA17,
+            panic_rate: 0.0,
+            nan_rate: 0.0,
+            spike_rate: 0.0,
+            spike: Duration::from_millis(10),
+            transient: true,
+        }
+    }
+}
+
+/// The faults planned for one design under a given config (pure,
+/// order-independent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Evaluation will panic.
+    pub panic: bool,
+    /// The estimate's cycle count will be NaN.
+    pub nan: bool,
+    /// Evaluation will stall for the configured spike duration.
+    pub spike: bool,
+}
+
+/// Counts of faults actually injected so far, in injection order
+/// `(panics, nans, spikes)`.
+pub type InjectionCounts = (usize, usize, usize);
+
+/// A [`CostModel`] wrapper injecting deterministic, seed-driven faults.
+#[derive(Debug)]
+pub struct FaultInjector<'a, E: CostModel> {
+    inner: &'a E,
+    cfg: FaultConfig,
+    /// Injected-fault count per design hash, for transient recovery.
+    injected_for: Mutex<HashMap<u64, u32>>,
+    panics: AtomicUsize,
+    nans: AtomicUsize,
+    spikes: AtomicUsize,
+}
+
+impl<'a, E: CostModel> FaultInjector<'a, E> {
+    /// Wrap `inner` with fault injection per `cfg`.
+    pub fn new(inner: &'a E, cfg: FaultConfig) -> Self {
+        FaultInjector {
+            inner,
+            cfg,
+            injected_for: Mutex::new(HashMap::new()),
+            panics: AtomicUsize::new(0),
+            nans: AtomicUsize::new(0),
+            spikes: AtomicUsize::new(0),
+        }
+    }
+
+    /// The faults this injector will plan for `design` — independent of
+    /// evaluation order and of any other design in the sweep.
+    pub fn plan(&self, design: &Design) -> FaultPlan {
+        self.plan_for_hash(design_hash(design))
+    }
+
+    fn plan_for_hash(&self, h: u64) -> FaultPlan {
+        FaultPlan {
+            panic: decide(h, self.cfg.seed, 0x70A1C, self.cfg.panic_rate),
+            nan: decide(h, self.cfg.seed, 0x0A0A0, self.cfg.nan_rate),
+            spike: decide(h, self.cfg.seed, 0x571CE, self.cfg.spike_rate),
+        }
+    }
+
+    /// Total faults injected so far as `(panics, nans, spikes)`.
+    pub fn injected(&self) -> InjectionCounts {
+        (
+            self.panics.load(Ordering::Relaxed),
+            self.nans.load(Ordering::Relaxed),
+            self.spikes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of distinct designs that have had at least one fault
+    /// injected (panic or NaN) — the count a resilient sweep should
+    /// report as `recovered` when faults are transient.
+    pub fn faulted_designs(&self) -> usize {
+        self.injected_for
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Should a planned fault fire for design hash `h` now? Transient
+    /// faults fire only while the design has no prior injections.
+    fn armed(&self, h: u64) -> bool {
+        if !self.cfg.transient {
+            return true;
+        }
+        let map = self.injected_for.lock().unwrap_or_else(|e| e.into_inner());
+        !map.contains_key(&h)
+    }
+
+    fn note_injection(&self, h: u64) {
+        *self
+            .injected_for
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(h)
+            .or_insert(0) += 1;
+    }
+}
+
+impl<E: CostModel> CostModel for FaultInjector<'_, E> {
+    fn estimate(&self, design: &Design) -> Estimate {
+        let h = design_hash(design);
+        let plan = self.plan_for_hash(h);
+        let armed = self.armed(h);
+        if plan.spike && armed {
+            self.spikes.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(self.cfg.spike);
+        }
+        if plan.panic && armed {
+            self.note_injection(h);
+            self.panics.fetch_add(1, Ordering::Relaxed);
+            panic!("injected estimator fault (design hash {h:#x})");
+        }
+        let mut est = self.inner.estimate(design);
+        if plan.nan && armed {
+            self.note_injection(h);
+            self.nans.fetch_add(1, Ordering::Relaxed);
+            est.cycles = f64::NAN;
+        }
+        est
+    }
+
+    fn platform(&self) -> &Platform {
+        self.inner.platform()
+    }
+}
+
+/// Order-independent Bernoulli draw: mix the design hash, the seed and a
+/// per-fault-class salt through SplitMix64 finalization and compare the
+/// top 53 bits against `rate`.
+fn decide(hash: u64, seed: u64, salt: u64, rate: f64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    if rate >= 1.0 {
+        return true;
+    }
+    let mut z = hash ^ seed.rotate_left(17) ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    unit < rate
+}
+
+/// Run `f` with the global panic hook silenced (and restored afterwards,
+/// even if `f` itself unwinds).
+///
+/// The runner isolates injected panics with `catch_unwind`, but the
+/// default hook would still print a backtrace banner per injection;
+/// tests exercising high fault rates wrap the sweep in this to keep
+/// their output readable. Callers are serialized on a global lock
+/// because the hook is process-wide.
+pub fn with_silent_panics<R>(f: impl FnOnce() -> R) -> R {
+    static HOOK_LOCK: Mutex<()> = Mutex::new(());
+    let _guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    std::panic::set_hook(prev);
+    match out {
+        Ok(r) => r,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decide_is_deterministic_and_rate_bounded() {
+        let mut hits = 0usize;
+        let n = 20_000;
+        for h in 0..n as u64 {
+            assert_eq!(decide(h, 7, 3, 0.25), decide(h, 7, 3, 0.25));
+            if decide(h, 7, 3, 0.25) {
+                hits += 1;
+            }
+            assert!(!decide(h, 7, 3, 0.0));
+            assert!(decide(h, 7, 3, 1.0));
+        }
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "hit rate {frac}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let hit = |seed: u64| (0..1000u64).filter(|&h| decide(h, seed, 1, 0.3)).count();
+        // Not a strict requirement on any single pair, but these seeds
+        // must not produce the identical schedule.
+        let a: Vec<bool> = (0..1000u64).map(|h| decide(h, 1, 1, 0.3)).collect();
+        let b: Vec<bool> = (0..1000u64).map(|h| decide(h, 2, 1, 0.3)).collect();
+        assert_ne!(a, b);
+        assert!(hit(1) > 0 && hit(2) > 0);
+    }
+
+    #[test]
+    fn silent_panics_restores_hook_on_unwind() {
+        let result = std::panic::catch_unwind(|| {
+            with_silent_panics(|| panic!("inner"));
+        });
+        assert!(result.is_err());
+        // If the hook was not restored, this would be silent; we cannot
+        // easily observe output here, but the call must still work.
+        with_silent_panics(|| 42);
+    }
+}

@@ -8,6 +8,15 @@
 //! Pareto-optimal surface over execution time and ALM usage — the data
 //! behind Figure 5.
 //!
+//! Sweeps run on a resilient parallel runner: points fan out over a
+//! work-stealing thread pool with per-point panic isolation and bounded
+//! retries, discards are accounted per cause in [`OutcomeCounts`], a
+//! wall-clock [`DseOptions::deadline`] truncates gracefully, and
+//! [`DseOptions::checkpoint`] streams completed points to disk so an
+//! interrupted sweep resumes without re-evaluating them. The
+//! [`FaultInjector`] harness injects deterministic panics, NaNs and
+//! latency spikes so those paths stay tested.
+//!
 //! ```no_run
 //! use dhdl_dse::{explore, DseOptions};
 //! use dhdl_estimate::Estimator;
@@ -25,12 +34,18 @@
 
 #![warn(missing_docs)]
 
+mod checkpoint;
+mod fault;
 mod objectives;
 mod pareto;
+mod runner;
 mod search;
 mod space;
 
+pub use checkpoint::Checkpoint;
+pub use fault::{with_silent_panics, FaultConfig, FaultInjector, FaultPlan, InjectionCounts};
 pub use objectives::{frontier_along, perf_per_area, rank_by_perf_per_area, ResourceAxis};
 pub use pareto::{pareto_front, spread};
-pub use search::{explore, refine, DesignPoint, DseOptions, DseResult};
+pub use runner::{CostModel, DseError, OutcomeCounts, PointOutcome};
+pub use search::{evaluate_all, explore, refine, DesignPoint, DseOptions, DseResult};
 pub use space::LegalSpace;

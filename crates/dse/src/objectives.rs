@@ -102,6 +102,9 @@ mod tests {
             pareto,
             space_size: 0,
             discarded: 0,
+            counts: crate::OutcomeCounts::default(),
+            errors: Vec::new(),
+            truncated: false,
         }
     }
 

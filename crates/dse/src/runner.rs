@@ -1,0 +1,468 @@
+//! The resilient parallel sweep runner.
+//!
+//! The paper's DSE practicality argument (§IV-C) rests on evaluating up
+//! to 75 000 design points per benchmark; this module makes that sweep a
+//! long-running job that survives bad points instead of a fragile serial
+//! loop. Design points are fanned out over a [`std::thread::scope`]
+//! work-stealing pool (the same pattern as `dhdl-cpu`'s kernels), every
+//! point is evaluated under [`std::panic::catch_unwind`] isolation with a
+//! bounded retry budget, failures land in a structured
+//! [`PointOutcome`]/[`DseError`] taxonomy instead of being silently
+//! discarded, and an optional wall-clock deadline degrades the sweep
+//! gracefully to a partial-but-valid result flagged `truncated`.
+//!
+//! Results are deterministic across thread counts: outcomes are keyed by
+//! sample index and reassembled in sample order, so the same seed yields
+//! the same points — and therefore the same Pareto front — whether the
+//! sweep ran on 1 thread or 16.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use dhdl_core::{Design, NodeKind, ParamValues};
+use dhdl_estimate::{Estimate, Estimator};
+use dhdl_target::Platform;
+
+use crate::checkpoint::Checkpoint;
+use crate::search::{DesignPoint, DseOptions};
+
+/// A cost model the sweep runner can query for design estimates.
+///
+/// [`Estimator`] is the production implementation; the fault-injection
+/// harness ([`crate::FaultInjector`]) wraps one to exercise the runner's
+/// isolation, retry and deadline paths in tests.
+pub trait CostModel: Sync {
+    /// Estimate cycles and area for a design instance.
+    fn estimate(&self, design: &Design) -> Estimate;
+    /// The platform the estimates target (used for the fits-on-device
+    /// check).
+    fn platform(&self) -> &Platform;
+}
+
+impl CostModel for Estimator {
+    fn estimate(&self, design: &Design) -> Estimate {
+        Estimator::estimate(self, design)
+    }
+
+    fn platform(&self) -> &Platform {
+        Estimator::platform(self)
+    }
+}
+
+impl<T: CostModel + ?Sized> CostModel for &T {
+    fn estimate(&self, design: &Design) -> Estimate {
+        (**self).estimate(design)
+    }
+
+    fn platform(&self) -> &Platform {
+        (**self).platform()
+    }
+}
+
+/// Why a sampled design point produced no estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DseError {
+    /// The benchmark metaprogram rejected the parameter assignment.
+    Build(String),
+    /// A local memory exceeded the per-buffer size cap (§IV-C).
+    MemCap {
+        /// Size of the largest offending buffer in bits.
+        bits: u64,
+        /// The configured cap in bits.
+        cap_bits: u64,
+    },
+    /// Building or estimating the point panicked on every attempt.
+    Panic {
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// The final panic payload, when it carried a message.
+        message: String,
+    },
+    /// The estimator returned a non-finite cycle count or area on every
+    /// attempt.
+    NonFinite {
+        /// Attempts made (1 + retries).
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for DseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DseError::Build(msg) => write!(f, "build failed: {msg}"),
+            DseError::MemCap { bits, cap_bits } => {
+                write!(f, "memory cap exceeded: {bits} bits > {cap_bits} bits")
+            }
+            DseError::Panic { attempts, message } => {
+                write!(f, "panicked on all {attempts} attempts: {message}")
+            }
+            DseError::NonFinite { attempts } => {
+                write!(f, "non-finite estimate on all {attempts} attempts")
+            }
+        }
+    }
+}
+
+/// The outcome of one sampled design point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointOutcome {
+    /// The point was estimated successfully.
+    Evaluated {
+        /// The evaluated point.
+        point: DesignPoint,
+        /// Attempts needed (> 1 means transient failures were retried).
+        attempts: u32,
+    },
+    /// The point was discarded, with the reason recorded.
+    Discarded(DseError),
+    /// The deadline expired before the point was claimed; a resumed run
+    /// picks it up from the checkpoint.
+    Skipped,
+}
+
+/// Per-category accounting of sweep outcomes, replacing the old opaque
+/// `discarded` scalar so silent point loss is visible in summaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Points estimated successfully.
+    pub evaluated: usize,
+    /// Points whose metaprogram rejected the parameters.
+    pub build_failed: usize,
+    /// Points violating the local-memory cap.
+    pub mem_cap: usize,
+    /// Points that panicked or stayed non-finite through all retries.
+    pub eval_failed: usize,
+    /// Evaluated points that needed more than one attempt (transient
+    /// faults absorbed by the retry budget).
+    pub recovered: usize,
+    /// Points never evaluated because the deadline expired.
+    pub skipped: usize,
+}
+
+impl OutcomeCounts {
+    /// Total points discarded before estimation (the old `discarded`
+    /// scalar: build failures + memory-cap violations + evaluation
+    /// failures).
+    pub fn discarded(&self) -> usize {
+        self.build_failed + self.mem_cap + self.eval_failed
+    }
+
+    /// One-line human-readable summary for sweep reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "evaluated {} (recovered {}), discarded {} (build {} / mem-cap {} / eval {}), skipped {}",
+            self.evaluated,
+            self.recovered,
+            self.discarded(),
+            self.build_failed,
+            self.mem_cap,
+            self.eval_failed,
+            self.skipped
+        )
+    }
+
+    fn record(&mut self, outcome: &PointOutcome) {
+        match outcome {
+            PointOutcome::Evaluated { attempts, .. } => {
+                self.evaluated += 1;
+                if *attempts > 1 {
+                    self.recovered += 1;
+                }
+            }
+            PointOutcome::Discarded(DseError::Build(_)) => self.build_failed += 1,
+            PointOutcome::Discarded(DseError::MemCap { .. }) => self.mem_cap += 1,
+            PointOutcome::Discarded(DseError::Panic { .. })
+            | PointOutcome::Discarded(DseError::NonFinite { .. }) => self.eval_failed += 1,
+            PointOutcome::Skipped => self.skipped += 1,
+        }
+    }
+
+    /// Tally a slice of outcomes.
+    pub(crate) fn tally(outcomes: &[PointOutcome]) -> Self {
+        let mut counts = OutcomeCounts::default();
+        for o in outcomes {
+            counts.record(o);
+        }
+        counts
+    }
+}
+
+/// Resolve a thread-count request (0 = all available cores).
+pub(crate) fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Evaluate `samples` in parallel, one [`PointOutcome`] per input index.
+///
+/// Indices present in `checkpoint`'s completed set are reused without
+/// re-evaluation; freshly computed outcomes are appended to the
+/// checkpoint as they finish. When `deadline` passes, workers stop
+/// claiming points and the unclaimed remainder comes back as
+/// [`PointOutcome::Skipped`].
+pub(crate) fn evaluate_points<F, E>(
+    build: &F,
+    estimator: &E,
+    samples: &[ParamValues],
+    opts: &DseOptions,
+    deadline: Option<Instant>,
+    checkpoint: Option<&Checkpoint>,
+) -> Vec<PointOutcome>
+where
+    F: Fn(&ParamValues) -> dhdl_core::Result<Design> + Sync,
+    E: CostModel + ?Sized,
+{
+    let n = samples.len();
+    let threads = resolve_threads(opts.threads).min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let done = checkpoint.map(Checkpoint::completed);
+    let per_worker: Vec<Vec<(usize, PointOutcome)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        if let Some(prev) = done.as_ref().and_then(|d| d.get(&i)) {
+                            local.push((i, prev.clone()));
+                            continue;
+                        }
+                        let outcome = evaluate_one(build, estimator, &samples[i], opts);
+                        if let Some(ckpt) = checkpoint {
+                            ckpt.append(i, &outcome);
+                        }
+                        local.push((i, outcome));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked outside isolation"))
+            .collect()
+    });
+    let mut outcomes = vec![PointOutcome::Skipped; n];
+    for (i, outcome) in per_worker.into_iter().flatten() {
+        outcomes[i] = outcome;
+    }
+    outcomes
+}
+
+/// What one isolated evaluation attempt produced.
+enum Attempt {
+    Point(DesignPoint),
+    Build(String),
+    MemCap { bits: u64, cap_bits: u64 },
+    NonFinite,
+}
+
+/// Evaluate a single design point under panic isolation with a bounded
+/// retry budget. Deterministic failures (build errors, memory-cap
+/// violations) are never retried; panics and non-finite estimates are
+/// retried up to `opts.retries` extra times so transient faults do not
+/// cost the sweep a point.
+fn evaluate_one<F, E>(
+    build: &F,
+    estimator: &E,
+    params: &ParamValues,
+    opts: &DseOptions,
+) -> PointOutcome
+where
+    F: Fn(&ParamValues) -> dhdl_core::Result<Design> + Sync,
+    E: CostModel + ?Sized,
+{
+    let max_attempts = opts.retries.saturating_add(1);
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let design = match build(params) {
+                Ok(d) => d,
+                Err(e) => return Attempt::Build(e.to_string()),
+            };
+            if let Some(bits) = mem_cap_violation(&design, opts.mem_cap_bits) {
+                return Attempt::MemCap {
+                    bits,
+                    cap_bits: opts.mem_cap_bits,
+                };
+            }
+            let est = estimator.estimate(&design);
+            if !estimate_is_finite(&est) {
+                return Attempt::NonFinite;
+            }
+            let valid = est.area.fits(&estimator.platform().fpga);
+            Attempt::Point(DesignPoint {
+                params: params.clone(),
+                cycles: est.cycles,
+                area: est.area,
+                valid,
+            })
+        }));
+        match result {
+            Ok(Attempt::Point(point)) => {
+                return PointOutcome::Evaluated { point, attempts };
+            }
+            Ok(Attempt::Build(msg)) => {
+                return PointOutcome::Discarded(DseError::Build(msg));
+            }
+            Ok(Attempt::MemCap { bits, cap_bits }) => {
+                return PointOutcome::Discarded(DseError::MemCap { bits, cap_bits });
+            }
+            Ok(Attempt::NonFinite) => {
+                if attempts >= max_attempts {
+                    return PointOutcome::Discarded(DseError::NonFinite { attempts });
+                }
+            }
+            Err(payload) => {
+                if attempts >= max_attempts {
+                    return PointOutcome::Discarded(DseError::Panic {
+                        attempts,
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn estimate_is_finite(est: &Estimate) -> bool {
+    est.cycles.is_finite()
+        && est.area.alms.is_finite()
+        && est.area.regs.is_finite()
+        && est.area.dsps.is_finite()
+        && est.area.brams.is_finite()
+}
+
+/// Size in bits of the largest local memory exceeding `cap_bits`, if any.
+fn mem_cap_violation(design: &Design, cap_bits: u64) -> Option<u64> {
+    design
+        .iter()
+        .filter_map(|(_, n)| match &n.kind {
+            NodeKind::Bram(b) => Some(b.elements() * u64::from(n.ty.bits())),
+            _ => None,
+        })
+        .filter(|&bits| bits > cap_bits)
+        .max()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "(non-string panic payload)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhdl_core::{DType, DesignBuilder, ParamSpace};
+    use dhdl_target::Platform;
+
+    fn tiny_build(p: &ParamValues) -> dhdl_core::Result<Design> {
+        let n = 256u64;
+        let tile = p.dim("tile")?;
+        let mut b = DesignBuilder::new("tiny");
+        let x = b.off_chip("x", DType::F32, &[n]);
+        b.sequential(|b| {
+            let acc = b.reg("acc", DType::F32, 0.0);
+            b.outer(false, &[dhdl_core::by(n, tile)], 1, |b, iters| {
+                let i = iters[0];
+                let t = b.bram("t", DType::F32, &[tile]);
+                b.tile_load(x, t, &[i], &[tile], 1);
+                b.pipe_reduce(
+                    &[dhdl_core::by(tile, 1)],
+                    1,
+                    acc,
+                    dhdl_core::ReduceOp::Add,
+                    |b, it| {
+                        let v = b.load(t, &[it[0]]);
+                        b.mul(v, v)
+                    },
+                );
+            });
+        });
+        b.finish()
+    }
+
+    fn space() -> ParamSpace {
+        let mut s = ParamSpace::new();
+        s.tile("tile", 256, 4, 64);
+        s
+    }
+
+    fn estimator() -> Estimator {
+        Estimator::calibrate_with(&Platform::maia(), 20, 7).0
+    }
+
+    #[test]
+    fn panicking_build_is_isolated_and_recorded() {
+        let est = estimator();
+        let opts = DseOptions {
+            retries: 1,
+            ..DseOptions::default()
+        };
+        let samples: Vec<ParamValues> = space()
+            .defs()
+            .iter()
+            .flat_map(|d| d.kind.legal_values())
+            .map(|v| ParamValues::new().with("tile", v))
+            .collect();
+        let panic_on = samples[1].clone();
+        let build = |p: &ParamValues| {
+            assert!(p != &panic_on, "injected build panic");
+            tiny_build(p)
+        };
+        let outcomes = evaluate_points(&build, &est, &samples, &opts, None, None);
+        assert_eq!(outcomes.len(), samples.len());
+        let counts = OutcomeCounts::tally(&outcomes);
+        assert_eq!(counts.eval_failed, 1);
+        assert_eq!(counts.evaluated, samples.len() - 1);
+        match &outcomes[1] {
+            PointOutcome::Discarded(DseError::Panic { attempts, message }) => {
+                assert_eq!(*attempts, 2);
+                assert!(message.contains("injected build panic"), "{message}");
+            }
+            other => panic!("expected panic outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counts_summary_mentions_every_category() {
+        let counts = OutcomeCounts {
+            evaluated: 5,
+            build_failed: 1,
+            mem_cap: 2,
+            eval_failed: 3,
+            recovered: 4,
+            skipped: 6,
+        };
+        assert_eq!(counts.discarded(), 6);
+        let s = counts.summary();
+        for needle in [
+            "evaluated 5",
+            "build 1",
+            "mem-cap 2",
+            "eval 3",
+            "recovered 4",
+            "skipped 6",
+        ] {
+            assert!(s.contains(needle), "{s} missing {needle}");
+        }
+    }
+}

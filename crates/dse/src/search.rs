@@ -1,11 +1,21 @@
 //! The design space walker: evaluate sampled legal points with the fast
 //! estimators and extract the Pareto-optimal surface (§IV-C, Figure 5).
+//!
+//! Since the resilient-runner rework, `explore` and `refine` fan their
+//! point evaluations out over [`crate::runner`]: panics are isolated per
+//! point, transient failures are retried, every loss is accounted in
+//! [`OutcomeCounts`], a deadline truncates gracefully, and checkpoints
+//! make interrupted sweeps resumable.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 use dhdl_core::{Design, ParamSpace, ParamValues};
-use dhdl_estimate::Estimator;
 use dhdl_target::AreaReport;
 
+use crate::checkpoint::Checkpoint;
 use crate::pareto::pareto_front;
+use crate::runner::{self, CostModel, DseError, OutcomeCounts, PointOutcome};
 use crate::space::LegalSpace;
 
 /// Options controlling a design-space exploration run.
@@ -19,6 +29,22 @@ pub struct DseOptions {
     /// Maximum size of any single on-chip memory in bits ("the total size
     /// of each local memory is limited to a fixed maximum value").
     pub mem_cap_bits: u64,
+    /// Worker threads for the parallel sweep (`0` = all available cores).
+    /// Results are identical for every thread count.
+    pub threads: usize,
+    /// Extra evaluation attempts after a panic or non-finite estimate
+    /// before the point is recorded as failed.
+    pub retries: u32,
+    /// Wall-clock budget for the sweep. When it expires, the sweep stops
+    /// claiming points and returns a partial result flagged
+    /// [`DseResult::truncated`]; unevaluated points stay out of the
+    /// checkpoint so a resumed run picks them up.
+    pub deadline: Option<Duration>,
+    /// Checkpoint file for crash/interrupt resume. Completed points
+    /// stream to this file as they finish; a sweep finding a matching
+    /// checkpoint resumes instead of re-evaluating, and a complete
+    /// (untruncated) sweep deletes it.
+    pub checkpoint: Option<PathBuf>,
 }
 
 impl Default for DseOptions {
@@ -27,6 +53,10 @@ impl Default for DseOptions {
             max_points: 75_000,
             seed: 0xD5E,
             mem_cap_bits: 8 * 1024 * 1024, // 8 Mbit per logical buffer
+            threads: 0,
+            retries: 2,
+            deadline: None,
+            checkpoint: None,
         }
     }
 }
@@ -45,7 +75,7 @@ pub struct DesignPoint {
 }
 
 /// The outcome of a design-space exploration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DseResult {
     /// Evaluated points (legal points only; designs violating the memory
     /// cap or failing to build are discarded before estimation).
@@ -54,20 +84,69 @@ pub struct DseResult {
     pub pareto: Vec<usize>,
     /// Total size of the legal space before sampling.
     pub space_size: u128,
-    /// Number of sampled points discarded before estimation.
+    /// Number of sampled points discarded before estimation (the sum of
+    /// the per-category [`DseResult::counts`]).
     pub discarded: usize,
+    /// Per-category outcome accounting: build failures, memory-cap
+    /// violations, evaluation failures, retry recoveries and
+    /// deadline-skipped points.
+    pub counts: OutcomeCounts,
+    /// Sample indices that were discarded, with the structured reason —
+    /// nothing is lost silently.
+    pub errors: Vec<(usize, DseError)>,
+    /// `true` when the deadline expired before every sampled point was
+    /// evaluated; the result is valid but partial, and re-running with
+    /// the same checkpoint resumes where it stopped.
+    pub truncated: bool,
 }
 
 impl DseResult {
-    /// The fastest valid design point, if any.
+    /// The fastest *valid* design point, if any — selected by scanning
+    /// all valid points (minimum cycles, ties broken by smaller area),
+    /// not by trusting any particular frontier ordering.
     pub fn best(&self) -> Option<&DesignPoint> {
-        self.pareto.first().map(|&i| &self.points[i])
+        self.points.iter().filter(|p| p.valid).min_by(|a, b| {
+            a.cycles
+                .total_cmp(&b.cycles)
+                .then(a.area.alms.total_cmp(&b.area.alms))
+        })
     }
 
     /// Pareto points, fastest first.
     pub fn pareto_points(&self) -> impl Iterator<Item = &DesignPoint> {
         self.pareto.iter().map(|&i| &self.points[i])
     }
+
+    /// Assemble a result from per-sample outcomes in sample order.
+    fn from_outcomes(outcomes: Vec<PointOutcome>, space_size: u128, truncated: bool) -> Self {
+        let counts = OutcomeCounts::tally(&outcomes);
+        let mut points = Vec::with_capacity(counts.evaluated);
+        let mut errors = Vec::new();
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                PointOutcome::Evaluated { point, .. } => points.push(point),
+                PointOutcome::Discarded(err) => errors.push((i, err)),
+                PointOutcome::Skipped => {}
+            }
+        }
+        let pareto = pareto_front(&point_tuples(&points));
+        DseResult {
+            points,
+            pareto,
+            space_size,
+            discarded: counts.discarded(),
+            counts,
+            errors,
+            truncated,
+        }
+    }
+}
+
+fn point_tuples(points: &[DesignPoint]) -> Vec<(f64, f64, bool)> {
+    points
+        .iter()
+        .map(|p| (p.cycles, p.area.alms, p.valid))
+        .collect()
 }
 
 /// Explore a benchmark's design space.
@@ -76,76 +155,73 @@ impl DseResult {
 /// assignment; points whose designs fail to build or exceed the local
 /// memory cap are discarded immediately (§IV-C), and points whose
 /// estimated area exceeds the device are kept but flagged invalid (the
-/// gray points of Figure 5).
-pub fn explore<F>(
-    build: F,
-    space: &ParamSpace,
-    estimator: &Estimator,
-    opts: &DseOptions,
-) -> DseResult
+/// gray points of Figure 5). Evaluation runs on a work-stealing thread
+/// pool with per-point panic isolation; see [`DseOptions`] for the
+/// thread, retry, deadline and checkpoint knobs. Results are
+/// deterministic in `opts.seed` for every thread count.
+pub fn explore<F, E>(build: F, space: &ParamSpace, estimator: &E, opts: &DseOptions) -> DseResult
 where
-    F: Fn(&ParamValues) -> dhdl_core::Result<Design>,
+    F: Fn(&ParamValues) -> dhdl_core::Result<Design> + Sync,
+    E: CostModel + ?Sized,
 {
     let legal = LegalSpace::new(space);
     let samples = legal.sample(opts.max_points, opts.seed);
-    let target = &estimator.platform().fpga;
-    let mut points = Vec::with_capacity(samples.len());
-    let mut discarded = 0usize;
-    for params in samples {
-        let Ok(design) = build(&params) else {
-            discarded += 1;
-            continue;
-        };
-        if exceeds_mem_cap(&design, opts.mem_cap_bits) {
-            discarded += 1;
-            continue;
+    let deadline = opts.deadline.map(|d| Instant::now() + d);
+    // A checkpoint that cannot be opened costs resumability, never the
+    // sweep itself.
+    let checkpoint = opts.checkpoint.as_ref().and_then(|path| {
+        match Checkpoint::open(path, space, opts, legal.size()) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("warning: checkpoint {} unavailable: {e}", path.display());
+                None
+            }
         }
-        let est = estimator.estimate(&design);
-        let valid = est.area.fits(target);
-        points.push(DesignPoint {
-            params,
-            cycles: est.cycles,
-            area: est.area,
-            valid,
-        });
+    });
+    let outcomes = runner::evaluate_points(
+        &build,
+        estimator,
+        &samples,
+        opts,
+        deadline,
+        checkpoint.as_ref(),
+    );
+    let truncated = outcomes.iter().any(|o| matches!(o, PointOutcome::Skipped));
+    if !truncated {
+        if let Some(ckpt) = checkpoint {
+            ckpt.remove();
+        }
     }
-    let tuples: Vec<(f64, f64, bool)> = points
-        .iter()
-        .map(|p| (p.cycles, p.area.alms, p.valid))
-        .collect();
-    let pareto = pareto_front(&tuples);
-    DseResult {
-        points,
-        pareto,
-        space_size: legal.size(),
-        discarded,
-    }
+    DseResult::from_outcomes(outcomes, legal.size(), truncated)
 }
 
 /// Refine a DSE result with local search: for every Pareto point, evaluate
 /// all single-parameter neighbors (adjacent legal values), keep anything
 /// new, and repeat for `rounds` rounds or until no Pareto improvement —
-/// the "walk the space of designs" step layered on random sampling.
-pub fn refine<F>(
+/// the "walk the space of designs" step layered on random sampling. Each
+/// round's candidate batch is evaluated on the same resilient parallel
+/// runner as [`explore`].
+pub fn refine<F, E>(
     build: F,
     space: &ParamSpace,
-    estimator: &Estimator,
+    estimator: &E,
     opts: &DseOptions,
     result: &DseResult,
     rounds: usize,
 ) -> DseResult
 where
-    F: Fn(&ParamValues) -> dhdl_core::Result<Design>,
+    F: Fn(&ParamValues) -> dhdl_core::Result<Design> + Sync,
+    E: CostModel + ?Sized,
 {
-    let target = &estimator.platform().fpga;
     let mut points = result.points.clone();
     let mut seen: std::collections::BTreeSet<String> =
         points.iter().map(|p| p.params.to_string()).collect();
     let mut pareto = result.pareto.clone();
-    let mut discarded = result.discarded;
+    let mut counts = result.counts;
+    let mut errors = result.errors.clone();
     for _ in 0..rounds {
         let frontier: Vec<ParamValues> = pareto.iter().map(|&i| points[i].params.clone()).collect();
-        let mut any_new = false;
+        let mut candidates = Vec::new();
         for params in frontier {
             for def in space.defs() {
                 let legal = def.kind.legal_values();
@@ -161,33 +237,26 @@ where
                     };
                     let mut candidate = params.clone();
                     candidate.set(&def.name, *np);
-                    if !seen.insert(candidate.to_string()) {
-                        continue;
+                    if seen.insert(candidate.to_string()) {
+                        candidates.push(candidate);
                     }
-                    let Ok(design) = build(&candidate) else {
-                        discarded += 1;
-                        continue;
-                    };
-                    if exceeds_mem_cap(&design, opts.mem_cap_bits) {
-                        discarded += 1;
-                        continue;
-                    }
-                    let est = estimator.estimate(&design);
-                    points.push(DesignPoint {
-                        params: candidate,
-                        cycles: est.cycles,
-                        area: est.area,
-                        valid: est.area.fits(target),
-                    });
-                    any_new = true;
                 }
             }
         }
-        let tuples: Vec<(f64, f64, bool)> = points
-            .iter()
-            .map(|p| (p.cycles, p.area.alms, p.valid))
-            .collect();
-        let new_pareto = pareto_front(&tuples);
+        let any_new = !candidates.is_empty();
+        let outcomes = runner::evaluate_points(&build, estimator, &candidates, opts, None, None);
+        let round_counts = OutcomeCounts::tally(&outcomes);
+        counts = merge_counts(counts, round_counts);
+        for outcome in outcomes {
+            match outcome {
+                PointOutcome::Evaluated { point, .. } => points.push(point),
+                // Refinement candidates have no stable sample index;
+                // record them past the end of the sampled range.
+                PointOutcome::Discarded(err) => errors.push((usize::MAX, err)),
+                PointOutcome::Skipped => {}
+            }
+        }
+        let new_pareto = pareto_front(&point_tuples(&points));
         let improved = new_pareto != pareto;
         pareto = new_pareto;
         if !any_new || !improved {
@@ -198,21 +267,47 @@ where
         points,
         pareto,
         space_size: result.space_size,
-        discarded,
+        discarded: counts.discarded(),
+        counts,
+        errors,
+        truncated: result.truncated,
     }
 }
 
-fn exceeds_mem_cap(design: &Design, cap_bits: u64) -> bool {
-    design.iter().any(|(_, n)| match &n.kind {
-        dhdl_core::NodeKind::Bram(b) => b.elements() * u64::from(n.ty.bits()) > cap_bits,
-        _ => false,
-    })
+fn merge_counts(a: OutcomeCounts, b: OutcomeCounts) -> OutcomeCounts {
+    OutcomeCounts {
+        evaluated: a.evaluated + b.evaluated,
+        build_failed: a.build_failed + b.build_failed,
+        mem_cap: a.mem_cap + b.mem_cap,
+        eval_failed: a.eval_failed + b.eval_failed,
+        recovered: a.recovered + b.recovered,
+        skipped: a.skipped + b.skipped,
+    }
+}
+
+/// Evaluate an explicit list of parameter assignments on the resilient
+/// runner (no sampling), returning outcomes in input order. This is the
+/// building block `explore`/`refine` share, exposed for harnesses that
+/// walk hand-picked point lists.
+pub fn evaluate_all<F, E>(
+    build: F,
+    candidates: &[ParamValues],
+    estimator: &E,
+    opts: &DseOptions,
+) -> Vec<PointOutcome>
+where
+    F: Fn(&ParamValues) -> dhdl_core::Result<Design> + Sync,
+    E: CostModel + ?Sized,
+{
+    let deadline = opts.deadline.map(|d| Instant::now() + d);
+    runner::evaluate_points(&build, estimator, candidates, opts, deadline, None)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dhdl_core::{by, DType, DesignBuilder, ReduceOp};
+    use dhdl_estimate::Estimator;
     use dhdl_target::Platform;
 
     fn build_dot(p: &ParamValues) -> dhdl_core::Result<Design> {
@@ -265,6 +360,7 @@ mod tests {
         let r = explore(build_dot, &space(), &est, &opts);
         assert!(!r.points.is_empty());
         assert!(!r.pareto.is_empty());
+        assert!(!r.truncated);
         let best = r.best().unwrap();
         assert!(best.valid);
         // Pareto points are sorted fastest-first and areas decrease.
@@ -273,6 +369,28 @@ mod tests {
             assert!(w[0].cycles <= w[1].cycles);
             assert!(w[0].area.alms >= w[1].area.alms);
         }
+    }
+
+    #[test]
+    fn parallel_sweep_is_deterministic_across_thread_counts() {
+        let est = estimator();
+        let base = DseOptions {
+            max_points: 48,
+            ..DseOptions::default()
+        };
+        let runs: Vec<DseResult> = [1usize, 2, 8]
+            .into_iter()
+            .map(|threads| {
+                let opts = DseOptions {
+                    threads,
+                    ..base.clone()
+                };
+                explore(build_dot, &space(), &est, &opts)
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+        assert!(!runs[0].points.is_empty());
     }
 
     #[test]
@@ -285,9 +403,57 @@ mod tests {
         };
         let r = explore(build_dot, &space(), &est, &opts);
         assert!(r.discarded > 0);
+        // The loss is itemized, not silent: every discard is a mem-cap
+        // record carrying the offending size.
+        assert_eq!(r.counts.mem_cap, r.discarded);
+        assert_eq!(r.counts.build_failed, 0);
+        assert_eq!(r.counts.eval_failed, 0);
+        assert_eq!(r.errors.len(), r.discarded);
+        for (_, err) in &r.errors {
+            match err {
+                DseError::MemCap { bits, cap_bits } => assert!(bits > cap_bits),
+                other => panic!("expected MemCap, got {other}"),
+            }
+        }
         for p in &r.points {
             assert!(p.params.dim("tile").unwrap() <= 16);
         }
+    }
+
+    #[test]
+    fn best_scans_valid_points_not_frontier_order() {
+        // A result whose `pareto` list is deliberately mis-ordered (as a
+        // checkpoint merger or external producer might build it): best()
+        // must still return the fastest valid point.
+        let mk = |cycles: f64, alms: f64, valid: bool| DesignPoint {
+            params: ParamValues::new().with("tile", cycles as u64),
+            cycles,
+            area: AreaReport {
+                alms,
+                regs: 0.0,
+                dsps: 0.0,
+                brams: 0.0,
+            },
+            valid,
+        };
+        let points = vec![
+            mk(50.0, 10.0, true),
+            mk(10.0, 90.0, true),
+            mk(5.0, 999.0, false), // fastest but invalid
+            mk(30.0, 40.0, true),
+        ];
+        let result = DseResult {
+            pareto: vec![0, 3, 1], // slowest-first: pareto[0] is NOT fastest
+            points,
+            space_size: 4,
+            discarded: 0,
+            counts: OutcomeCounts::default(),
+            errors: Vec::new(),
+            truncated: false,
+        };
+        let best = result.best().unwrap();
+        assert!(best.valid);
+        assert_eq!(best.cycles, 10.0);
     }
 
     #[test]
@@ -325,5 +491,21 @@ mod tests {
         let r = explore(build_dot, &space(), &est, &opts);
         assert_eq!(r.space_size, LegalSpace::new(&space()).size());
         assert!(r.points.len() <= 10);
+    }
+
+    #[test]
+    fn zero_deadline_truncates_gracefully() {
+        let est = estimator();
+        let opts = DseOptions {
+            max_points: 40,
+            deadline: Some(Duration::ZERO),
+            ..DseOptions::default()
+        };
+        let r = explore(build_dot, &space(), &est, &opts);
+        assert!(r.truncated);
+        assert_eq!(r.counts.skipped + r.counts.evaluated + r.discarded, 40);
+        assert!(r.counts.skipped > 0);
+        // A truncated result is still structurally valid.
+        assert!(r.pareto.len() <= r.points.len());
     }
 }

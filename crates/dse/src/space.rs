@@ -32,13 +32,13 @@ impl LegalSpace {
         self.values.iter().map(|v| v.len() as u128).product()
     }
 
-    /// Decode a linear index into a parameter assignment.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index >= self.size()`.
-    pub fn point(&self, index: u128) -> ParamValues {
-        assert!(index < self.size(), "index out of range");
+    /// Decode a linear index into a parameter assignment, or `None` if
+    /// `index >= self.size()` — the checked form callers should prefer
+    /// so a malformed index is an error, not a process abort.
+    pub fn try_point(&self, index: u128) -> Option<ParamValues> {
+        if index >= self.size() {
+            return None;
+        }
         let mut rem = index;
         let mut v = ParamValues::new();
         for (name, vals) in self.names.iter().zip(&self.values).rev() {
@@ -46,13 +46,23 @@ impl LegalSpace {
             v.set(name, vals[(rem % n) as usize]);
             rem /= n;
         }
-        v
+        Some(v)
+    }
+
+    /// Decode a linear index into a parameter assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.size()`; use [`LegalSpace::try_point`]
+    /// to handle untrusted indices gracefully.
+    pub fn point(&self, index: u128) -> ParamValues {
+        self.try_point(index).expect("index out of range")
     }
 
     /// Enumerate every legal point (use only when [`LegalSpace::size`] is
     /// small).
     pub fn enumerate(&self) -> Vec<ParamValues> {
-        (0..self.size()).map(|i| self.point(i)).collect()
+        (0..self.size()).filter_map(|i| self.try_point(i)).collect()
     }
 
     /// Draw up to `n` distinct legal points uniformly at random
@@ -66,13 +76,17 @@ impl LegalSpace {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut seen = BTreeSet::new();
         let mut out = Vec::with_capacity(n);
-        // Rejection sampling with a generous retry budget.
+        // Rejection sampling with a generous retry budget. Indices are
+        // decoded through the checked `try_point`, so a bad draw can
+        // never abort the sweep.
         let mut tries = 0usize;
         while out.len() < n && tries < n * 20 {
             tries += 1;
             let idx = rng.gen_range(0..u64::MAX) as u128 % size;
             if seen.insert(idx) {
-                out.push(self.point(idx));
+                if let Some(p) = self.try_point(idx) {
+                    out.push(p);
+                }
             }
         }
         out
@@ -89,6 +103,23 @@ mod tests {
         s.par("p1", 16, 8);
         s.toggle("m");
         s
+    }
+
+    #[test]
+    fn try_point_rejects_out_of_range_indices() {
+        let ls = LegalSpace::new(&space());
+        let size = ls.size();
+        assert!(ls.try_point(size).is_none());
+        assert!(ls.try_point(u128::MAX).is_none());
+        // In-range indices decode to the same assignment as `point`.
+        let p = ls.try_point(size - 1).unwrap();
+        assert_eq!(p, ls.point(size - 1));
+        // The empty space rejects every index instead of dividing by
+        // zero.
+        let empty = LegalSpace::new(&ParamSpace::new().tile("t", 7, 9, 9).clone());
+        if empty.size() == 0 {
+            assert!(empty.try_point(0).is_none());
+        }
     }
 
     #[test]

@@ -1,6 +1,14 @@
 #!/usr/bin/env bash
 # Regenerate every table and figure of the evaluation (EXPERIMENTS.md).
 set -euo pipefail
+
+# Stream DSE progress to results/checkpoints/<bench>.ckpt so an
+# interrupted run (Ctrl-C, crash, or a DHDL_DSE_DEADLINE_MS expiry)
+# resumes where it left off on the next invocation; completed sweeps
+# clean their checkpoints up. Set DHDL_DSE_CHECKPOINT=0 to disable,
+# DHDL_DSE_THREADS=<n> to pin the sweep worker count.
+export DHDL_DSE_CHECKPOINT="${DHDL_DSE_CHECKPOINT:-1}"
+
 cargo build --release --workspace
 for b in table2 table3 table4 fig5 fig6 energy ablations; do
   echo "=== $b ==="
