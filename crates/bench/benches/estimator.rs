@@ -1,8 +1,13 @@
 //! Estimator throughput: the headline claim of Table IV is that a full
-//! cycle+area estimate takes milliseconds per design.
+//! cycle+area estimate takes milliseconds per design. The memoized
+//! pipeline adds three more rungs to the ladder: elaborate-once shared
+//! between latency and area, the canonical structural hash that keys the
+//! estimate cache, and a cache hit that skips estimation entirely.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dhdl_apps::{Benchmark, Gda};
+use dhdl_core::structural_hash;
+use dhdl_dse::{model_fingerprint, CachedModel, CostModel, EstimateCache};
 use dhdl_estimate::Estimator;
 use dhdl_target::Platform;
 
@@ -20,6 +25,25 @@ fn bench_estimator(c: &mut Criterion) {
     });
     c.bench_function("estimate_area_gda", |b| {
         b.iter(|| std::hint::black_box(estimator.area(&design)))
+    });
+    // The elaborate-once split: elaboration alone, then both estimate
+    // paths fed from one pre-built netlist (the DSE hot path).
+    c.bench_function("elaborate_only_gda", |b| {
+        b.iter(|| std::hint::black_box(estimator.elaborate(&design)))
+    });
+    let net = estimator.elaborate(&design);
+    c.bench_function("estimate_net_gda", |b| {
+        b.iter(|| std::hint::black_box(estimator.estimate_net(&design, &net)))
+    });
+    c.bench_function("structural_hash_gda", |b| {
+        b.iter(|| std::hint::black_box(structural_hash(&design)))
+    });
+    // A cache hit: hash + sharded map lookup, no elaboration at all.
+    let cache = EstimateCache::new(model_fingerprint(&estimator));
+    let cached = CachedModel::new(&estimator, &cache);
+    cached.estimate(&design); // warm the single entry
+    c.bench_function("estimate_cache_hit_gda", |b| {
+        b.iter(|| std::hint::black_box(cached.estimate(&design)))
     });
     c.bench_function("instantiate_plus_estimate_gda", |b| {
         b.iter(|| {

@@ -117,7 +117,9 @@ fn estimate(bench: &dyn dhdl_apps::Benchmark, rest: &[String]) {
     eprintln!("calibrating estimator...");
     let harness = Harness::new(0xC11, 100);
     let design = bench.build(&p).expect("design builds");
-    let est = harness.estimator.estimate(&design);
+    // Cached single-point path (results/cache/ answers repeat queries).
+    let est = harness.estimate(&design);
+    harness.flush_cache();
     let platform = &harness.platform;
     println!("design:  {} with {p}", design.name());
     println!(
@@ -169,6 +171,7 @@ fn explore(bench: &dyn dhdl_apps::Benchmark, rest: &[String]) {
         dse.counts.summary(),
         dse.pareto.len()
     );
+    println!("sweep throughput: {}", dse.stats.summary());
     let mut t = Table::new(&["params", "cycles", "ALMs", "DSPs", "BRAMs"]);
     for p in dse.pareto_points().take(15) {
         t.row(&[

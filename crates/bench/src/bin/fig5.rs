@@ -7,9 +7,9 @@
 //! boundedness analysis of §V-C1 (which resource limits each benchmark's
 //! Pareto front).
 
-use dhdl_bench::report::{ascii_scatter, pct, write_result, Table};
+use dhdl_bench::report::{ascii_scatter, pct, results_dir, write_result, Table};
 use dhdl_bench::Harness;
-use dhdl_dse::{frontier_along, ResourceAxis};
+use dhdl_dse::{frontier_along, ResourceAxis, SweepStats};
 use std::fmt::Write as _;
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -17,6 +17,69 @@ fn env_usize(name: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Scan a previous `BENCH_estimate.json` for its `"total_wall_secs"`
+/// value (a flat string scan — the file is our own single-level JSON).
+fn previous_total_wall_secs() -> Option<f64> {
+    let text = std::fs::read_to_string(results_dir().join("BENCH_estimate.json")).ok()?;
+    let tail = text.split("\"total_wall_secs\":").nth(1)?;
+    tail.split([',', '}', '\n']).next()?.trim().parse().ok()
+}
+
+/// Emit the estimation-throughput benchmark artifact: per-benchmark
+/// evaluated points, wall-clock seconds, points/sec and cache counters,
+/// plus totals and the speedup over the previous run of this binary
+/// (cold-then-warm runs surface the cache win here).
+fn write_bench_json(per_bench: &[(String, SweepStats)], speedup_vs_previous: Option<f64>) {
+    let total_wall: f64 = per_bench.iter().map(|(_, s)| s.elapsed_secs).sum();
+    let total_eval: usize = per_bench.iter().map(|(_, s)| s.evaluated).sum();
+    let (hits, misses) = per_bench.iter().fold((0u64, 0u64), |(h, m), (_, s)| {
+        let c = s.cache.unwrap_or_default();
+        (h + c.hits, m + c.misses)
+    });
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (name, s)) in per_bench.iter().enumerate() {
+        let c = s.cache.unwrap_or_default();
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{name}\", \"evaluated\": {}, \"wall_secs\": {:.6}, \
+             \"points_per_sec\": {:.1}, \"cache_hits\": {}, \"cache_misses\": {}}}",
+            s.evaluated,
+            s.elapsed_secs,
+            s.points_per_sec(),
+            c.hits,
+            c.misses
+        );
+        json.push_str(if i + 1 < per_bench.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"total_evaluated\": {total_eval},\n  \"total_wall_secs\": {total_wall:.6},\n  \
+         \"points_per_sec\": {:.1},\n  \"cache_hits\": {hits},\n  \"cache_misses\": {misses},\n  \
+         \"cache_hit_rate\": {hit_rate:.4},\n",
+        if total_wall > 0.0 {
+            total_eval as f64 / total_wall
+        } else {
+            0.0
+        }
+    );
+    match speedup_vs_previous {
+        Some(x) => {
+            let _ = writeln!(json, "  \"speedup_vs_previous\": {x:.2}");
+        }
+        None => {
+            let _ = writeln!(json, "  \"speedup_vs_previous\": null");
+        }
+    }
+    json.push_str("}\n");
+    let path = write_result("BENCH_estimate.json", &json);
+    println!("wrote {}", path.display());
 }
 
 fn main() {
@@ -54,9 +117,16 @@ fn main() {
         ("kmeans", "ALM bound; BRAM banking under-utilization"),
     ];
 
+    // Estimation throughput accounting for BENCH_estimate.json: compare
+    // this run's total sweep wall-clock against the previous run's (a
+    // warm results/cache/ makes the second run several times faster).
+    let previous_wall = previous_total_wall_secs();
+    let mut per_bench: Vec<(String, dhdl_dse::SweepStats)> = Vec::new();
+
     for bench in dhdl_apps::all() {
         eprintln!("exploring {} ({points} samples)...", bench.name());
         let dse = harness.explore(bench.as_ref());
+        per_bench.push((bench.name().to_string(), dse.stats));
         // CSV: one row per point with all three panels' coordinates, the
         // (cycles, ALM) front highlighted across panels as in the paper,
         // plus the per-axis frontiers.
@@ -107,6 +177,7 @@ fn main() {
                 ""
             }
         );
+        println!("sweep throughput: {}", dse.stats.summary());
         println!("{}", ascii_scatter(&scatter, 64, 16));
 
         // Boundedness: which resource is closest to its capacity across
@@ -163,4 +234,13 @@ fn main() {
     println!("{}", bound_table.render());
     let path = write_result("fig5_summary.csv", &bound_table.to_csv());
     println!("wrote {}", path.display());
+
+    let total_wall: f64 = per_bench.iter().map(|(_, s)| s.elapsed_secs).sum();
+    let speedup = previous_wall
+        .filter(|&prev| total_wall > 0.0 && prev > 0.0)
+        .map(|prev| prev / total_wall);
+    if let Some(x) = speedup {
+        println!("estimation wall-clock vs previous fig5 run: {x:.2}x");
+    }
+    write_bench_json(&per_bench, speedup);
 }

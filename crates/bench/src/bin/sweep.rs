@@ -57,7 +57,8 @@ fn main() {
             continue;
         };
         evaluated += 1;
-        let est = harness.estimator.estimate(&design);
+        // Cached path: repeated sweeps answer from results/cache/.
+        let est = harness.estimate(&design);
         t.row(&[
             value.to_string(),
             format!("{:.0}", est.cycles),
@@ -75,8 +76,15 @@ fn main() {
         bench.default_params()
     );
     println!("{}", t.render());
+    harness.flush_cache();
     // Point-loss accounting, mirroring the resilient runner's counters.
     println!("sweep outcomes: {evaluated} evaluated, {build_failed} build-failed");
+    if let Some(c) = harness.cache_stats() {
+        println!(
+            "estimate cache: {} hits / {} misses ({} entries)",
+            c.hits, c.misses, c.entries
+        );
+    }
     let path = write_result(
         &format!("sweep_{}_{}.csv", bench.name(), param),
         &t.to_csv(),

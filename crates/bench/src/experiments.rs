@@ -2,12 +2,17 @@
 //! evaluation of individual design points (estimate + synthesize +
 //! simulate).
 
+use std::sync::Arc;
+
 use dhdl_apps::Benchmark;
-use dhdl_core::{Design, ParamValues};
-use dhdl_dse::{explore, spread, DseOptions, DseResult};
-use dhdl_estimate::Estimator;
+use dhdl_core::{structural_hash, Design, Fnv64, ParamValues};
+use dhdl_dse::{
+    explore, model_fingerprint, spread, CacheMode, CachedModel, CostModel, DseOptions, DseResult,
+    EstimateCache,
+};
+use dhdl_estimate::{Estimate, Estimator};
 use dhdl_sim::{simulate, Bindings, SimResult};
-use dhdl_synth::{synthesize, SynthReport};
+use dhdl_synth::{design_hash, place_and_route, SynthReport};
 use dhdl_target::{AreaReport, Platform};
 
 /// A calibrated evaluation harness: platform, trained estimator, and the
@@ -20,6 +25,13 @@ pub struct Harness {
     pub estimator: Estimator,
     /// DSE options (sample budget, seed, memory cap).
     pub dse: DseOptions,
+    /// The shared estimate cache (`DHDL_DSE_CACHE=off` disables it),
+    /// keyed by [`dhdl_core::structural_hash`] and versioned by the
+    /// trained model + target fingerprint.
+    cache: Option<Arc<EstimateCache>>,
+    /// `true` when the cache persists under `results/cache/`
+    /// (`DHDL_DSE_CACHE=disk`, the default).
+    cache_on_disk: bool,
 }
 
 impl Harness {
@@ -34,9 +46,12 @@ impl Harness {
     /// Sweep resilience knobs come from the environment so every
     /// experiment driver shares them: `DHDL_DSE_THREADS` (worker
     /// threads, 0 = all cores), `DHDL_DSE_DEADLINE_MS` (wall-clock
-    /// budget per sweep), and `DHDL_DSE_CHECKPOINT=1` (stream progress
+    /// budget per sweep), `DHDL_DSE_CHECKPOINT=1` (stream progress
     /// to `results/checkpoints/<bench>.ckpt` so interrupted sweeps
-    /// resume).
+    /// resume), and `DHDL_DSE_CACHE=off|mem|disk` (estimate memoization;
+    /// `disk` — the default — persists under `results/cache/` keyed by
+    /// the trained model's fingerprint, so repeated runs skip
+    /// re-estimating every design they have seen before).
     pub fn new(seed: u64, dse_points: usize) -> Self {
         let platform = Platform::maia();
         let estimator = Self::cached_estimator(&platform, seed);
@@ -48,6 +63,15 @@ impl Harness {
             .ok()
             .and_then(|v| v.parse().ok())
             .map(std::time::Duration::from_millis);
+        let mode = CacheMode::from_env();
+        let cache = match mode {
+            CacheMode::Off => None,
+            CacheMode::Memory => Some(Arc::new(EstimateCache::new(model_fingerprint(&estimator)))),
+            CacheMode::Disk => Some(Arc::new(EstimateCache::load(
+                &Self::cache_dir(),
+                model_fingerprint(&estimator),
+            ))),
+        };
         Harness {
             platform,
             estimator,
@@ -58,7 +82,33 @@ impl Harness {
                 deadline,
                 ..DseOptions::default()
             },
+            cache,
+            cache_on_disk: mode == CacheMode::Disk,
         }
+    }
+
+    /// The persistent estimate-cache directory.
+    fn cache_dir() -> std::path::PathBuf {
+        crate::report::results_dir().join("cache")
+    }
+
+    /// The parameter-memo salt for a benchmark: its name, its dataset,
+    /// and the canonical structure of its default-parameter design.
+    /// Distinct benchmarks must never share a salt (their identical
+    /// parameter assignments would alias in the shared cache), and
+    /// mixing in the default design's [`structural_hash`] retires stale
+    /// memo entries when the metaprogram itself changes shape.
+    fn bench_salt(bench: &dyn Benchmark) -> u64 {
+        let mut h = Fnv64::new();
+        h.write(bench.name().as_bytes());
+        h.write(bench.dataset_desc().as_bytes());
+        match bench.build(&bench.default_params()) {
+            Ok(design) => h.write_u64(structural_hash(&design)),
+            // A benchmark whose defaults do not build still sweeps; its
+            // memo is simply keyed without the structural guard.
+            Err(_) => h.write_u64(0),
+        }
+        h.finish()
     }
 
     fn cached_estimator(platform: &Platform, seed: u64) -> Estimator {
@@ -90,6 +140,12 @@ impl Harness {
     /// its checkpoint up.
     pub fn explore(&self, bench: &dyn Benchmark) -> DseResult {
         let mut opts = self.dse.clone();
+        if self.cache.is_some() {
+            // Enable the parameter-keyed fast path: warm sweeps answer
+            // repeated assignments without rebuilding or rehashing the
+            // design.
+            opts.cache_salt = Some(Self::bench_salt(bench));
+        }
         if std::env::var("DHDL_DSE_CHECKPOINT").is_ok_and(|v| v != "0" && !v.is_empty()) {
             opts.checkpoint = Some(
                 crate::report::results_dir()
@@ -97,12 +153,17 @@ impl Harness {
                     .join(format!("{}.ckpt", bench.name())),
             );
         }
-        let result = explore(
-            |p| bench.build(p),
-            &bench.param_space(),
-            &self.estimator,
-            &opts,
-        );
+        let build = |p: &ParamValues| bench.build(p);
+        let space = bench.param_space();
+        let result = match &self.cache {
+            Some(cache) => {
+                let model = CachedModel::new(&self.estimator, cache.as_ref());
+                let result = explore(build, &space, &model, &opts);
+                self.flush_cache();
+                result
+            }
+            None => explore(build, &space, &self.estimator, &opts),
+        };
         if result.truncated {
             eprintln!(
                 "warning: {} sweep truncated by deadline ({} of {} points skipped); \
@@ -113,6 +174,34 @@ impl Harness {
             );
         }
         result
+    }
+
+    /// Estimate one design through the shared cache (identical to
+    /// `self.estimator.estimate`, memoized). Callers that issue many
+    /// single-point estimates should [`Harness::flush_cache`] when done.
+    pub fn estimate(&self, design: &Design) -> Estimate {
+        match &self.cache {
+            Some(cache) => CachedModel::new(&self.estimator, cache.as_ref()).estimate(design),
+            None => self.estimator.estimate(design),
+        }
+    }
+
+    /// Persist the estimate cache under `results/cache/` (no-op unless
+    /// running in the default `DHDL_DSE_CACHE=disk` mode).
+    pub fn flush_cache(&self) {
+        if !self.cache_on_disk {
+            return;
+        }
+        if let Some(cache) = &self.cache {
+            if let Err(e) = cache.save(&Self::cache_dir()) {
+                eprintln!("warning: could not persist estimate cache: {e}");
+            }
+        }
+    }
+
+    /// Counters of the shared estimate cache, when one is enabled.
+    pub fn cache_stats(&self) -> Option<dhdl_dse::CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
     }
 
     /// Pick up to `n` spread-out Pareto points from a DSE result.
@@ -147,8 +236,12 @@ impl Harness {
         let design = bench
             .build(params)
             .unwrap_or_else(|e| panic!("{}: build failed: {e}", bench.name()));
-        let est = self.estimator.estimate(&design);
-        let synth = synthesize(&design, &self.platform.fpga);
+        // One elaboration feeds the estimate and the synthesis model;
+        // `place_and_route` on the shared netlist is exactly
+        // `dhdl_synth::synthesize` without its internal re-elaboration.
+        let net = self.estimator.elaborate(&design);
+        let est = self.estimator.estimate_net(&design, &net);
+        let synth = place_and_route(design_hash(&design), &net, &self.platform.fpga);
         let sim = self.simulate(bench, &design);
         PointEval {
             params: params.clone(),
@@ -211,6 +304,24 @@ mod tests {
         assert_eq!(PointEval::rel_err(0.0, 0.0), 0.0);
         assert_eq!(PointEval::rel_err(5.0, 0.0), 1.0);
         assert!((PointEval::rel_err(110.0, 100.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_estimate_matches_direct_estimator() {
+        let h = Harness::new(3, 20);
+        let bench = DotProduct::new(1_920);
+        let design = bench.build(&bench.default_params()).unwrap();
+        let direct = h.estimator.estimate(&design);
+        // Twice: the second call is a cache hit (when caching is on) and
+        // must be bit-identical either way.
+        assert_eq!(h.estimate(&design), direct);
+        assert_eq!(h.estimate(&design), direct);
+        // The shared-netlist evaluation path equals the per-call one.
+        let net = h.estimator.elaborate(&design);
+        assert_eq!(
+            place_and_route(design_hash(&design), &net, &h.platform.fpga),
+            dhdl_synth::synthesize(&design, &h.platform.fpga)
+        );
     }
 
     #[test]

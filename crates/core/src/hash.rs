@@ -1,0 +1,174 @@
+//! Canonical structural hashing of designs.
+//!
+//! Two distinct design hashes exist in the workspace and they serve
+//! different masters:
+//!
+//! * [`structural_hash`] (this module) — the *canonical* hash over the
+//!   full node-level structure of a [`Design`], including every template
+//!   parameter (tile sizes, loop bounds, parallelization factors,
+//!   banking). Any two designs that could estimate differently hash
+//!   differently. This is the key for estimate caches and for
+//!   seed-driven fault schedules in `dhdl-dse`.
+//! * `dhdl_synth::design_hash` — a deliberately *coarse* hash that
+//!   models per-design place-and-route tool noise; it collapses many
+//!   distinct design points onto one key and must stay that way (cached
+//!   calibration artifacts under `results/` are keyed by its stream).
+//!
+//! Both are FNV-1a at heart; [`Fnv64`] is the shared primitive. The
+//! byte stream consumed by [`structural_hash`] is part of the on-disk
+//! cache format and of recorded fault schedules: it must never change
+//! silently. `crates/core/tests/hash_stability.rs` pins golden values.
+
+use std::fmt::{self, Write as _};
+
+use crate::{Design, Node, NodeId};
+
+/// Incremental 64-bit FNV-1a hasher.
+///
+/// Byte-oriented writes ([`Fnv64::write`]) implement textbook FNV-1a;
+/// [`Fnv64::write_u64`] mixes a whole 64-bit word per round (the coarser
+/// variant `dhdl_synth::design_hash` is built on). The two must not be
+/// interleaved carelessly — they produce different streams by design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Mix `bytes` one byte per round (textbook FNV-1a).
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Mix one 64-bit word per round.
+    pub fn write_u64(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// `write!` support so callers can hash `Debug`/`Display` output without
+/// allocating intermediate strings.
+impl fmt::Write for Fnv64 {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.write(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// The canonical structural hash of a design: FNV-1a over the design
+/// name followed by the `Debug` rendering of every `(NodeId, Node)`
+/// pair in arena order.
+///
+/// `Debug` formatting is deterministic and covers every field of every
+/// template spec, so designs differing in *any* parameter — tile size,
+/// loop bound, parallelization factor, memory geometry — key different
+/// values. Collisions are those of a 64-bit hash: for a 75 000-point
+/// sweep the birthday bound is ≈ 1.5e-10, which the estimate cache and
+/// fault injector accept by design.
+pub fn structural_hash(design: &Design) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(design.name().as_bytes());
+    for (id, node) in design.iter() {
+        hash_node(&mut h, id, node);
+    }
+    h.finish()
+}
+
+/// Mix one `(NodeId, Node)` pair into `h` exactly as
+/// `format!("{id:?}{node:?}")` would, without the allocation.
+fn hash_node(h: &mut Fnv64, id: NodeId, node: &Node) {
+    // Infallible: Fnv64's `fmt::Write` never errors.
+    let _ = write!(h, "{id:?}{node:?}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{by, DType, DesignBuilder, ReduceOp};
+
+    fn toy(name: &str, tile: u64, par: u32) -> Design {
+        let mut b = DesignBuilder::new(name);
+        let va = b.off_chip("a", DType::F32, &[4096]);
+        let vb = b.off_chip("b", DType::F32, &[4096]);
+        b.sequential(|b| {
+            let acc = b.reg("acc", DType::F32, 0.0);
+            b.meta_pipe(&[by(4096, tile)], 1, |b, iters| {
+                let i = iters[0];
+                let at = b.bram("aT", DType::F32, &[tile]);
+                let bt = b.bram("bT", DType::F32, &[tile]);
+                b.parallel(|b| {
+                    b.tile_load(va, at, &[i], &[tile], par);
+                    b.tile_load(vb, bt, &[i], &[tile], par);
+                });
+                b.pipe_reduce(&[by(tile, 1)], par, acc, ReduceOp::Add, |b, it| {
+                    let x = b.load(at, &[it[0]]);
+                    let y = b.load(bt, &[it[0]]);
+                    b.mul(x, y)
+                });
+            });
+        });
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn hash_matches_the_string_formulation() {
+        // The no-alloc writer must produce exactly the bytes of
+        // `format!("{id:?}{node:?}")` — the historical definition.
+        let design = toy("fmt", 64, 4);
+        let mut h: u64 = FNV_OFFSET;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(design.name().as_bytes());
+        for (id, node) in design.iter() {
+            mix(format!("{id:?}{node:?}").as_bytes());
+        }
+        assert_eq!(structural_hash(&design), h);
+    }
+
+    #[test]
+    fn params_change_the_hash() {
+        let a = structural_hash(&toy("t", 64, 4));
+        assert_eq!(a, structural_hash(&toy("t", 64, 4)));
+        assert_ne!(a, structural_hash(&toy("t", 128, 4)));
+        assert_ne!(a, structural_hash(&toy("t", 64, 8)));
+        assert_ne!(a, structural_hash(&toy("u", 64, 4)));
+    }
+
+    #[test]
+    fn fnv_word_and_byte_streams_are_independent() {
+        // A multi-byte word mixes as one round, not one round per byte.
+        let mut a = Fnv64::new();
+        a.write(&0x0102u16.to_be_bytes());
+        let mut b = Fnv64::new();
+        b.write_u64(0x0102);
+        assert_ne!(a.finish(), b.finish());
+        assert_eq!(Fnv64::new().finish(), FNV_OFFSET);
+    }
+}

@@ -1,0 +1,97 @@
+//! Golden-value regression tests for [`dhdl_core::structural_hash`].
+//!
+//! The structural hash keys on-disk estimate caches (`results/cache/`)
+//! and recorded fault-injection schedules. If its byte stream ever
+//! changes — a renamed `Node` field, a reordered enum variant, a tweak
+//! to `Debug` formatting — previously cached artifacts would silently
+//! stop matching. These tests pin exact hash values for fixed designs
+//! so any such drift fails loudly; if one fails, either revert the
+//! formatting change or bump the cache format version *and* these
+//! golden values together.
+
+use dhdl_core::{by, structural_hash, DType, DesignBuilder, ReduceOp};
+
+fn dotproduct(tile: u64, par: u32) -> dhdl_core::Design {
+    let mut b = DesignBuilder::new("dotproduct");
+    let va = b.off_chip("a", DType::F32, &[4096]);
+    let vb = b.off_chip("b", DType::F32, &[4096]);
+    b.sequential(|b| {
+        let acc = b.reg("acc", DType::F32, 0.0);
+        b.meta_pipe(&[by(4096, tile)], 1, |b, iters| {
+            let i = iters[0];
+            let at = b.bram("aT", DType::F32, &[tile]);
+            let bt = b.bram("bT", DType::F32, &[tile]);
+            b.parallel(|b| {
+                b.tile_load(va, at, &[i], &[tile], par);
+                b.tile_load(vb, bt, &[i], &[tile], par);
+            });
+            b.pipe_reduce(&[by(tile, 1)], par, acc, ReduceOp::Add, |b, it| {
+                let x = b.load(at, &[it[0]]);
+                let y = b.load(bt, &[it[0]]);
+                b.mul(x, y)
+            });
+        });
+    });
+    b.finish().unwrap()
+}
+
+fn scalar(name: &str) -> dhdl_core::Design {
+    let mut b = DesignBuilder::new(name);
+    b.sequential(|b| {
+        let acc = b.reg("r", DType::i32(), 0.0);
+        b.pipe_reduce(&[by(16, 1)], 1, acc, ReduceOp::Add, |b, it| {
+            let c = b.constant(2.0, DType::i32());
+            b.mul(it[0], c)
+        });
+    });
+    b.finish().unwrap()
+}
+
+/// Golden values. Computed once and pinned; see module docs for the
+/// upgrade procedure if these legitimately need to change.
+#[test]
+fn structural_hash_golden_values() {
+    let cases: [(&str, u64, u64); 4] = [
+        (
+            "dot-64-4",
+            structural_hash(&dotproduct(64, 4)),
+            GOLD_DOT_64_4,
+        ),
+        (
+            "dot-128-4",
+            structural_hash(&dotproduct(128, 4)),
+            GOLD_DOT_128_4,
+        ),
+        (
+            "dot-64-8",
+            structural_hash(&dotproduct(64, 8)),
+            GOLD_DOT_64_8,
+        ),
+        ("scalar", structural_hash(&scalar("s")), GOLD_SCALAR),
+    ];
+    for (name, got, want) in cases {
+        assert_eq!(
+            got, want,
+            "structural_hash drifted for {name}: got {got:#018x}, want {want:#018x} \
+             (cached artifacts keyed by the old stream will no longer match)"
+        );
+    }
+}
+
+const GOLD_DOT_64_4: u64 = 0x1159_5a0a_0add_69c9;
+const GOLD_DOT_128_4: u64 = 0xcd74_2daf_8606_5ea3;
+const GOLD_DOT_64_8: u64 = 0x4601_ad48_b6c1_fbb9;
+const GOLD_SCALAR: u64 = 0xc106_5445_562e_aad3;
+
+/// The hash must be a pure function of the design, not of process state.
+#[test]
+fn structural_hash_is_reproducible_within_process() {
+    assert_eq!(
+        structural_hash(&dotproduct(64, 4)),
+        structural_hash(&dotproduct(64, 4))
+    );
+    assert_ne!(
+        structural_hash(&dotproduct(64, 4)),
+        structural_hash(&dotproduct(64, 2))
+    );
+}

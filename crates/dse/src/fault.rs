@@ -21,33 +21,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-use dhdl_core::Design;
+use dhdl_core::{structural_hash, Design};
 use dhdl_estimate::Estimate;
 use dhdl_target::Platform;
 
 use crate::runner::CostModel;
-
-/// A hash over the full node-level structure of a design, so that any
-/// two designs differing in any parameter (tile sizes, loop bounds,
-/// parallelization, banking) key different injection decisions.
-/// (`dhdl_synth::design_hash` is too coarse here: it models per-design
-/// tool noise and collapses many distinct design points.)
-fn design_hash(design: &Design) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        }
-    };
-    mix(design.name().as_bytes());
-    for (id, node) in design.iter() {
-        // Debug formatting is deterministic and covers every field of
-        // every template spec.
-        mix(format!("{id:?}{node:?}").as_bytes());
-    }
-    h
-}
 
 /// Fault rates and behavior for a [`FaultInjector`].
 #[derive(Debug, Clone, PartialEq)]
@@ -126,7 +104,7 @@ impl<'a, E: CostModel> FaultInjector<'a, E> {
     /// The faults this injector will plan for `design` — independent of
     /// evaluation order and of any other design in the sweep.
     pub fn plan(&self, design: &Design) -> FaultPlan {
-        self.plan_for_hash(design_hash(design))
+        self.plan_for_hash(structural_hash(design))
     }
 
     fn plan_for_hash(&self, h: u64) -> FaultPlan {
@@ -178,7 +156,7 @@ impl<'a, E: CostModel> FaultInjector<'a, E> {
 
 impl<E: CostModel> CostModel for FaultInjector<'_, E> {
     fn estimate(&self, design: &Design) -> Estimate {
-        let h = design_hash(design);
+        let h = structural_hash(design);
         let plan = self.plan_for_hash(h);
         let armed = self.armed(h);
         if plan.spike && armed {
@@ -201,6 +179,10 @@ impl<E: CostModel> CostModel for FaultInjector<'_, E> {
 
     fn platform(&self) -> &Platform {
         self.inner.platform()
+    }
+
+    fn cache_stats(&self) -> Option<crate::CacheStats> {
+        self.inner.cache_stats()
     }
 }
 

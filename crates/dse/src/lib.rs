@@ -17,6 +17,16 @@
 //! [`FaultInjector`] harness injects deterministic panics, NaNs and
 //! latency spikes so those paths stay tested.
 //!
+//! Estimates are memoizable: [`CachedModel`] wraps any [`CostModel`]
+//! with a sharded [`EstimateCache`] keyed by the canonical
+//! [`dhdl_core::structural_hash`], optionally persisted under
+//! `results/cache/` and versioned by [`model_fingerprint`]. A second,
+//! parameter-keyed memo level ([`params_key`], enabled per sweep via
+//! [`DseOptions::cache_salt`]) lets warm sweeps skip design construction
+//! and hashing outright — the warm fast path. Sweeps are bit-identical
+//! with the cache off, on, or pre-warmed; per-sweep timing, throughput
+//! and hit rates surface in [`DseResult::stats`].
+//!
 //! ```no_run
 //! use dhdl_dse::{explore, DseOptions};
 //! use dhdl_estimate::Estimator;
@@ -34,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod checkpoint;
 mod fault;
 mod objectives;
@@ -42,10 +53,11 @@ mod runner;
 mod search;
 mod space;
 
+pub use cache::{model_fingerprint, params_key, CacheMode, CacheStats, CachedModel, EstimateCache};
 pub use checkpoint::Checkpoint;
 pub use fault::{with_silent_panics, FaultConfig, FaultInjector, FaultPlan, InjectionCounts};
 pub use objectives::{frontier_along, perf_per_area, rank_by_perf_per_area, ResourceAxis};
 pub use pareto::{pareto_front, spread};
-pub use runner::{CostModel, DseError, OutcomeCounts, PointOutcome};
+pub use runner::{CostModel, DseError, OutcomeCounts, PointOutcome, SweepStats};
 pub use search::{evaluate_all, explore, refine, DesignPoint, DseOptions, DseResult};
 pub use space::LegalSpace;

@@ -105,6 +105,7 @@ mod tests {
             counts: crate::OutcomeCounts::default(),
             errors: Vec::new(),
             truncated: false,
+            stats: crate::SweepStats::default(),
         }
     }
 

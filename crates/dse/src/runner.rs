@@ -24,6 +24,7 @@ use dhdl_core::{Design, NodeKind, ParamValues};
 use dhdl_estimate::{Estimate, Estimator};
 use dhdl_target::Platform;
 
+use crate::cache::CacheStats;
 use crate::checkpoint::Checkpoint;
 use crate::search::{DesignPoint, DseOptions};
 
@@ -31,13 +32,41 @@ use crate::search::{DesignPoint, DseOptions};
 ///
 /// [`Estimator`] is the production implementation; the fault-injection
 /// harness ([`crate::FaultInjector`]) wraps one to exercise the runner's
-/// isolation, retry and deadline paths in tests.
+/// isolation, retry and deadline paths in tests, and
+/// [`crate::CachedModel`] wraps either with a memoizing estimate cache.
 pub trait CostModel: Sync {
     /// Estimate cycles and area for a design instance.
     fn estimate(&self, design: &Design) -> Estimate;
     /// The platform the estimates target (used for the fits-on-device
     /// check).
     fn platform(&self) -> &Platform;
+    /// Counters of the estimate cache backing this model, if any; the
+    /// runner snapshots them around each sweep so reports can print hit
+    /// rates. Models without a cache return `None` (the default).
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+
+    /// The memoized estimate for a parameter-assignment key (see
+    /// [`crate::params_key`]), if this model has one. This is the
+    /// warm-sweep fast path: a `Some` answer lets the runner skip design
+    /// construction and hashing entirely, which together cost several
+    /// times more than a memoized estimate. Models without a cache
+    /// return `None` (the default).
+    fn lookup_params(&self, params_key: u64) -> Option<Estimate> {
+        let _ = params_key;
+        None
+    }
+
+    /// Estimate `design`, remembering (when `params_key` is `Some` and
+    /// the model has a cache) that this parameter key builds this design,
+    /// so later sweeps can answer it via [`CostModel::lookup_params`].
+    /// The default ignores the key and delegates to
+    /// [`CostModel::estimate`].
+    fn estimate_keyed(&self, params_key: Option<u64>, design: &Design) -> Estimate {
+        let _ = params_key;
+        self.estimate(design)
+    }
 }
 
 impl CostModel for Estimator {
@@ -57,6 +86,18 @@ impl<T: CostModel + ?Sized> CostModel for &T {
 
     fn platform(&self) -> &Platform {
         (**self).platform()
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        (**self).cache_stats()
+    }
+
+    fn lookup_params(&self, params_key: u64) -> Option<Estimate> {
+        (**self).lookup_params(params_key)
+    }
+
+    fn estimate_keyed(&self, params_key: Option<u64>, design: &Design) -> Estimate {
+        (**self).estimate_keyed(params_key, design)
     }
 }
 
@@ -188,6 +229,73 @@ impl OutcomeCounts {
     }
 }
 
+/// Performance accounting for one sweep: wall-clock time, throughput
+/// and (when the cost model carries one) estimate-cache counters.
+///
+/// Deliberately excluded from [`crate::DseResult`]'s equality: two
+/// sweeps that produce identical points are equal regardless of how
+/// fast they ran or how many cache hits they took.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SweepStats {
+    /// Wall-clock seconds spent evaluating points.
+    pub elapsed_secs: f64,
+    /// Points successfully evaluated in this sweep.
+    pub evaluated: usize,
+    /// Per-sweep estimate-cache counter deltas, when the model has a
+    /// cache ([`CostModel::cache_stats`]).
+    pub cache: Option<CacheStats>,
+}
+
+impl SweepStats {
+    /// Evaluated points per wall-clock second (0 for an instant sweep).
+    pub fn points_per_sec(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.evaluated as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fold a later batch's stats into this one (refinement rounds add
+    /// onto the exploration sweep): times and counts accumulate, and the
+    /// later cache snapshot wins.
+    pub fn absorb(&mut self, later: SweepStats) {
+        self.elapsed_secs += later.elapsed_secs;
+        self.evaluated += later.evaluated;
+        if let Some(c) = later.cache {
+            self.cache = Some(match self.cache {
+                Some(prev) => CacheStats {
+                    hits: prev.hits + c.hits,
+                    misses: prev.misses + c.misses,
+                    inserts: prev.inserts + c.inserts,
+                    entries: c.entries,
+                },
+                None => c,
+            });
+        }
+    }
+
+    /// One-line human-readable summary for sweep reports.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "{} points in {:.2}s ({:.0} points/s)",
+            self.evaluated,
+            self.elapsed_secs,
+            self.points_per_sec()
+        );
+        if let Some(c) = self.cache {
+            s.push_str(&format!(
+                ", cache {} hits / {} misses ({:.0}% hit rate, {} entries)",
+                c.hits,
+                c.misses,
+                c.hit_rate() * 100.0,
+                c.entries
+            ));
+        }
+        s
+    }
+}
+
 /// Resolve a thread-count request (0 = all available cores).
 pub(crate) fn resolve_threads(requested: usize) -> usize {
     if requested > 0 {
@@ -199,7 +307,8 @@ pub(crate) fn resolve_threads(requested: usize) -> usize {
     }
 }
 
-/// Evaluate `samples` in parallel, one [`PointOutcome`] per input index.
+/// Evaluate `samples` in parallel, one [`PointOutcome`] per input index,
+/// plus the sweep's timing and cache accounting.
 ///
 /// Indices present in `checkpoint`'s completed set are reused without
 /// re-evaluation; freshly computed outcomes are appended to the
@@ -213,11 +322,13 @@ pub(crate) fn evaluate_points<F, E>(
     opts: &DseOptions,
     deadline: Option<Instant>,
     checkpoint: Option<&Checkpoint>,
-) -> Vec<PointOutcome>
+) -> (Vec<PointOutcome>, SweepStats)
 where
     F: Fn(&ParamValues) -> dhdl_core::Result<Design> + Sync,
     E: CostModel + ?Sized,
 {
+    let start = Instant::now();
+    let cache_before = estimator.cache_stats();
     let n = samples.len();
     let threads = resolve_threads(opts.threads).min(n.max(1));
     let next = AtomicUsize::new(0);
@@ -258,7 +369,18 @@ where
     for (i, outcome) in per_worker.into_iter().flatten() {
         outcomes[i] = outcome;
     }
-    outcomes
+    let stats = SweepStats {
+        elapsed_secs: start.elapsed().as_secs_f64(),
+        evaluated: outcomes
+            .iter()
+            .filter(|o| matches!(o, PointOutcome::Evaluated { .. }))
+            .count(),
+        cache: estimator.cache_stats().map(|after| match cache_before {
+            Some(before) => after.since(&before),
+            None => after,
+        }),
+    };
+    (outcomes, stats)
 }
 
 /// What one isolated evaluation attempt produced.
@@ -284,6 +406,29 @@ where
     F: Fn(&ParamValues) -> dhdl_core::Result<Design> + Sync,
     E: CostModel + ?Sized,
 {
+    // Warm fast path: a memoized parameter key skips design construction
+    // and structural hashing outright. Only successfully evaluated
+    // (finite, under-mem-cap) assignments ever enter the memo, and the
+    // memoized estimate is the bit-exact one the full path would compute,
+    // so outcomes and counts match a cold sweep (`recovered` aside —
+    // hits bypass transient faults, as all cache hits do).
+    let params_key = opts
+        .cache_salt
+        .map(|salt| crate::cache::params_key(salt, params));
+    if let Some(pk) = params_key {
+        if let Some(est) = estimator.lookup_params(pk) {
+            let valid = est.area.fits(&estimator.platform().fpga);
+            return PointOutcome::Evaluated {
+                point: DesignPoint {
+                    params: params.clone(),
+                    cycles: est.cycles,
+                    area: est.area,
+                    valid,
+                },
+                attempts: 1,
+            };
+        }
+    }
     let max_attempts = opts.retries.saturating_add(1);
     let mut attempts = 0u32;
     loop {
@@ -299,7 +444,7 @@ where
                     cap_bits: opts.mem_cap_bits,
                 };
             }
-            let est = estimator.estimate(&design);
+            let est = estimator.estimate_keyed(params_key, &design);
             if !estimate_is_finite(&est) {
                 return Attempt::NonFinite;
             }
@@ -428,8 +573,12 @@ mod tests {
             assert!(p != &panic_on, "injected build panic");
             tiny_build(p)
         };
-        let outcomes = evaluate_points(&build, &est, &samples, &opts, None, None);
+        let (outcomes, stats) = evaluate_points(&build, &est, &samples, &opts, None, None);
         assert_eq!(outcomes.len(), samples.len());
+        assert_eq!(stats.evaluated, samples.len() - 1);
+        assert!(stats.elapsed_secs >= 0.0);
+        // A bare Estimator carries no cache.
+        assert!(stats.cache.is_none());
         let counts = OutcomeCounts::tally(&outcomes);
         assert_eq!(counts.eval_failed, 1);
         assert_eq!(counts.evaluated, samples.len() - 1);
@@ -440,6 +589,44 @@ mod tests {
             }
             other => panic!("expected panic outcome, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn sweep_stats_absorb_and_summary() {
+        let mut a = SweepStats {
+            elapsed_secs: 2.0,
+            evaluated: 100,
+            cache: None,
+        };
+        assert_eq!(a.points_per_sec(), 50.0);
+        a.absorb(SweepStats {
+            elapsed_secs: 1.0,
+            evaluated: 20,
+            cache: Some(CacheStats {
+                hits: 15,
+                misses: 5,
+                inserts: 5,
+                entries: 5,
+            }),
+        });
+        assert_eq!(a.evaluated, 120);
+        assert_eq!(a.elapsed_secs, 3.0);
+        assert_eq!(a.cache.unwrap().hits, 15);
+        a.absorb(SweepStats {
+            elapsed_secs: 0.0,
+            evaluated: 0,
+            cache: Some(CacheStats {
+                hits: 5,
+                misses: 0,
+                inserts: 0,
+                entries: 5,
+            }),
+        });
+        assert_eq!(a.cache.unwrap().hits, 20);
+        let s = a.summary();
+        assert!(s.contains("120 points"), "{s}");
+        assert!(s.contains("cache 20 hits / 5 misses"), "{s}");
+        assert_eq!(SweepStats::default().points_per_sec(), 0.0);
     }
 
     #[test]

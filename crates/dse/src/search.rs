@@ -15,7 +15,7 @@ use dhdl_target::AreaReport;
 
 use crate::checkpoint::Checkpoint;
 use crate::pareto::pareto_front;
-use crate::runner::{self, CostModel, DseError, OutcomeCounts, PointOutcome};
+use crate::runner::{self, CostModel, DseError, OutcomeCounts, PointOutcome, SweepStats};
 use crate::space::LegalSpace;
 
 /// Options controlling a design-space exploration run.
@@ -45,6 +45,14 @@ pub struct DseOptions {
     /// checkpoint resumes instead of re-evaluating, and a complete
     /// (untruncated) sweep deletes it.
     pub checkpoint: Option<PathBuf>,
+    /// Salt for the parameter-keyed fast path of the estimate cache
+    /// (see [`crate::params_key`]). It must identify the
+    /// metaprogram and dataset whose `build` maps parameter assignments
+    /// to designs: benchmarks sharing one cache with identical salts
+    /// would alias assignments like `{par=4, tile=64}` onto each other.
+    /// `None` (the default) disables the fast path; the structural-hash
+    /// cache still applies when the cost model carries one.
+    pub cache_salt: Option<u64>,
 }
 
 impl Default for DseOptions {
@@ -57,6 +65,7 @@ impl Default for DseOptions {
             retries: 2,
             deadline: None,
             checkpoint: None,
+            cache_salt: None,
         }
     }
 }
@@ -75,7 +84,7 @@ pub struct DesignPoint {
 }
 
 /// The outcome of a design-space exploration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DseResult {
     /// Evaluated points (legal points only; designs violating the memory
     /// cap or failing to build are discarded before estimation).
@@ -98,6 +107,26 @@ pub struct DseResult {
     /// evaluated; the result is valid but partial, and re-running with
     /// the same checkpoint resumes where it stopped.
     pub truncated: bool,
+    /// Sweep performance accounting: wall-clock time, throughput and
+    /// estimate-cache hit/miss counters. Not part of equality — two
+    /// sweeps producing identical points compare equal however fast
+    /// they ran and wherever their estimates came from.
+    pub stats: SweepStats,
+}
+
+/// Equality over everything *except* [`DseResult::stats`]: tests assert
+/// bit-identical results across thread counts and cache states, and
+/// timing/hit-rate accounting legitimately differs between such runs.
+impl PartialEq for DseResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.points == other.points
+            && self.pareto == other.pareto
+            && self.space_size == other.space_size
+            && self.discarded == other.discarded
+            && self.counts == other.counts
+            && self.errors == other.errors
+            && self.truncated == other.truncated
+    }
 }
 
 impl DseResult {
@@ -118,7 +147,12 @@ impl DseResult {
     }
 
     /// Assemble a result from per-sample outcomes in sample order.
-    fn from_outcomes(outcomes: Vec<PointOutcome>, space_size: u128, truncated: bool) -> Self {
+    fn from_outcomes(
+        outcomes: Vec<PointOutcome>,
+        space_size: u128,
+        truncated: bool,
+        stats: SweepStats,
+    ) -> Self {
         let counts = OutcomeCounts::tally(&outcomes);
         let mut points = Vec::with_capacity(counts.evaluated);
         let mut errors = Vec::new();
@@ -138,6 +172,7 @@ impl DseResult {
             counts,
             errors,
             truncated,
+            stats,
         }
     }
 }
@@ -178,7 +213,7 @@ where
             }
         }
     });
-    let outcomes = runner::evaluate_points(
+    let (outcomes, stats) = runner::evaluate_points(
         &build,
         estimator,
         &samples,
@@ -192,7 +227,7 @@ where
             ckpt.remove();
         }
     }
-    DseResult::from_outcomes(outcomes, legal.size(), truncated)
+    DseResult::from_outcomes(outcomes, legal.size(), truncated, stats)
 }
 
 /// Refine a DSE result with local search: for every Pareto point, evaluate
@@ -219,6 +254,7 @@ where
     let mut pareto = result.pareto.clone();
     let mut counts = result.counts;
     let mut errors = result.errors.clone();
+    let mut stats = result.stats;
     for _ in 0..rounds {
         let frontier: Vec<ParamValues> = pareto.iter().map(|&i| points[i].params.clone()).collect();
         let mut candidates = Vec::new();
@@ -244,7 +280,9 @@ where
             }
         }
         let any_new = !candidates.is_empty();
-        let outcomes = runner::evaluate_points(&build, estimator, &candidates, opts, None, None);
+        let (outcomes, round_stats) =
+            runner::evaluate_points(&build, estimator, &candidates, opts, None, None);
+        stats.absorb(round_stats);
         let round_counts = OutcomeCounts::tally(&outcomes);
         counts = merge_counts(counts, round_counts);
         for outcome in outcomes {
@@ -271,6 +309,7 @@ where
         counts,
         errors,
         truncated: result.truncated,
+        stats,
     }
 }
 
@@ -300,7 +339,7 @@ where
     E: CostModel + ?Sized,
 {
     let deadline = opts.deadline.map(|d| Instant::now() + d);
-    runner::evaluate_points(&build, estimator, candidates, opts, deadline, None)
+    runner::evaluate_points(&build, estimator, candidates, opts, deadline, None).0
 }
 
 #[cfg(test)]
@@ -450,6 +489,7 @@ mod tests {
             counts: OutcomeCounts::default(),
             errors: Vec::new(),
             truncated: false,
+            stats: SweepStats::default(),
         };
         let best = result.best().unwrap();
         assert!(best.valid);

@@ -185,6 +185,7 @@ mod tests {
                 edges: 120.0,
                 avg_width: 2.0,
             },
+            pipe_depths: Vec::new(),
         }
     }
 

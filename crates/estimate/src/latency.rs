@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use dhdl_core::analysis::traversal::parent_map;
 use dhdl_core::{Design, NodeId, NodeKind, Pattern, TileSpec};
 use dhdl_synth::chardata::{prim_cost, reduce_tree_latency};
-use dhdl_synth::pipe_depth;
+use dhdl_synth::{pipe_depth, Netlist};
 use dhdl_target::Platform;
 
 /// Fixed control overhead (in cycles) for starting/finishing one controller
@@ -22,11 +22,24 @@ const CTRL_OVERHEAD: f64 = 2.0;
 
 /// Estimate the total execution cycles of a design on a platform.
 pub fn estimate_cycles(design: &Design, platform: &Platform) -> f64 {
+    cycles_with(design, platform, None)
+}
+
+/// [`estimate_cycles`], reusing the pipe critical-path depths recorded on
+/// an already-elaborated [`Netlist`] of the same design instead of
+/// re-scheduling every pipe body. Identical result to `estimate_cycles`
+/// by construction (the netlist depths come from the same ASAP schedule).
+pub fn estimate_cycles_net(design: &Design, platform: &Platform, net: &Netlist) -> f64 {
+    cycles_with(design, platform, Some(net))
+}
+
+fn cycles_with(design: &Design, platform: &Platform, net: Option<&Netlist>) -> f64 {
     let ctx = Ctx {
         design,
         platform,
         parents: parent_map(design),
         reps: replication_map(design),
+        net,
     };
     ctx.cycles(design.top())
 }
@@ -57,6 +70,7 @@ pub fn estimate_breakdown(design: &Design, platform: &Platform) -> Vec<LatencyEn
         platform,
         parents: parent_map(design),
         reps: replication_map(design),
+        net: None,
     };
     let mut entries = Vec::new();
     // Executions of each controller: product of ancestor effective trip
@@ -108,6 +122,9 @@ struct Ctx<'a> {
     platform: &'a Platform,
     parents: BTreeMap<NodeId, NodeId>,
     reps: BTreeMap<NodeId, f64>,
+    /// Elaborated netlist of the same design, if the caller already has
+    /// one: supplies recorded pipe depths so bodies are not re-scheduled.
+    net: Option<&'a Netlist>,
 }
 
 impl Ctx<'_> {
@@ -115,7 +132,10 @@ impl Ctx<'_> {
         match self.design.kind(ctrl) {
             NodeKind::Pipe(p) => {
                 let iters = (p.ctr.total_iters() as f64 / f64::from(p.par)).ceil();
-                let mut depth = pipe_depth(self.design, p) as f64;
+                let mut depth =
+                    self.net
+                        .and_then(|n| n.pipe_depth(ctrl))
+                        .unwrap_or_else(|| pipe_depth(self.design, p)) as f64;
                 if let (Some(r), Pattern::Reduce(op)) = (&p.reduce, p.pattern) {
                     let ty = self.design.ty(r.reg);
                     depth += reduce_tree_latency(op.prim(), ty, p.par) as f64;

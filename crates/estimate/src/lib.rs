@@ -35,10 +35,10 @@ mod latency;
 pub use bottleneck::{classify, Bottleneck};
 pub use calibrate::{calibrate, cross_validate, random_design, CalibrationReport, DEFAULT_SAMPLES};
 pub use hybrid::{features, raw_estimate, AreaEstimator, N_FEATURES};
-pub use latency::{estimate_breakdown, estimate_cycles, LatencyEntry};
+pub use latency::{estimate_breakdown, estimate_cycles, estimate_cycles_net, LatencyEntry};
 
 use dhdl_core::Design;
-use dhdl_synth::elaborate;
+use dhdl_synth::{elaborate, Netlist};
 use dhdl_target::{AreaReport, Platform};
 
 /// A complete design estimate: cycles and post-place-and-route area.
@@ -121,11 +121,29 @@ impl Estimator {
         &self.area
     }
 
+    /// Elaborate a design against this estimator's target — the netlist
+    /// both estimate paths consume. Callers that need several views of
+    /// one design (estimate + raw area + place-and-route) should
+    /// elaborate once and use the `_net` entry points.
+    pub fn elaborate(&self, design: &Design) -> Netlist {
+        elaborate(design, &self.platform.fpga)
+    }
+
     /// Estimate cycles and area for a design instance.
+    ///
+    /// The design is elaborated exactly once; the same netlist feeds the
+    /// latency path (recorded pipe depths) and the area path.
     pub fn estimate(&self, design: &Design) -> Estimate {
+        let net = self.elaborate(design);
+        self.estimate_net(design, &net)
+    }
+
+    /// [`Estimator::estimate`] on an already-elaborated netlist of the
+    /// same design. No further elaboration happens.
+    pub fn estimate_net(&self, design: &Design, net: &Netlist) -> Estimate {
         Estimate {
-            cycles: estimate_cycles(design, &self.platform),
-            area: self.area.estimate(design, &self.platform.fpga),
+            cycles: estimate_cycles_net(design, &self.platform, net),
+            area: self.area.estimate_net(net),
         }
     }
 
@@ -142,7 +160,12 @@ impl Estimator {
     /// Raw analytical area estimate without the learned correction (the
     /// ablation baseline of DESIGN.md).
     pub fn raw_area(&self, design: &Design) -> AreaReport {
-        raw_estimate(&elaborate(design, &self.platform.fpga), &self.platform.fpga)
+        self.raw_area_net(&self.elaborate(design))
+    }
+
+    /// [`Estimator::raw_area`] on an already-elaborated netlist.
+    pub fn raw_area_net(&self, net: &Netlist) -> AreaReport {
+        raw_estimate(net, &self.platform.fpga)
     }
 }
 
@@ -180,6 +203,20 @@ mod tests {
         // Raw estimate differs from the corrected one.
         let raw = est.raw_area(&small_design());
         assert_ne!(raw.alms, e.area.alms);
+    }
+
+    #[test]
+    fn shared_netlist_paths_match_per_call_paths() {
+        let platform = Platform::maia();
+        let (est, _) = Estimator::calibrate_with(&platform, 30, 7);
+        let d = small_design();
+        let net = est.elaborate(&d);
+        // One elaboration feeding both paths gives exactly the per-call
+        // results (the cache relies on this equivalence being bit-exact).
+        assert_eq!(est.estimate_net(&d, &net), est.estimate(&d));
+        assert_eq!(est.estimate(&d).area, est.area(&d));
+        assert_eq!(est.estimate(&d).cycles, est.cycles(&d));
+        assert_eq!(est.raw_area_net(&net), est.raw_area(&d));
     }
 
     #[test]

@@ -7,15 +7,37 @@
 //! place-and-route). Replication from parallelization factors, reduction
 //! trees, and delay-balancing registers (ASAP schedule) are all applied
 //! here.
+//!
+//! Elaboration is the DSE hot path: a 75 000-point sweep elaborates 75 000
+//! designs that share one structure and differ only in parameters (tile
+//! sizes, par factors, banking). It is therefore split in two:
+//!
+//! * a [`Skeleton`] — everything that depends only on the design's
+//!   *structure* (controller tree, pipe body topology, per-node cost-model
+//!   lookups keyed by op and type), built once per structure and cached
+//!   per-thread keyed by [`shape_hash`];
+//! * a cheap re-costing pass ([`elaborate_with`]) that reads the
+//!   param-dependent values (par factors, replication, memory geometry,
+//!   banking, counter lengths) from the concrete design and produces the
+//!   [`Netlist`].
+//!
+//! The split is bit-exact: re-costing performs the same floating-point
+//! operations in the same order as a direct walk, so netlists (and
+//! everything downstream: estimates, place-and-route, sweeps) are
+//! unchanged. Pipe critical-path depths fall out of the ASAP schedule for
+//! free and are recorded on the netlist so the latency estimator does not
+//! re-schedule the same bodies.
 
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
 
-use dhdl_core::{Design, DesignStats, NodeId, NodeKind, Pattern, PipeSpec};
+use dhdl_core::{DType, Design, DesignStats, Fnv64, NodeId, NodeKind, Pattern, PipeSpec};
 use dhdl_target::{FpgaTarget, Resources};
 
 use crate::chardata::{
     access_cost, bram_cost, controller_cost, counter_cost, delay_cost, mux_cost, pqueue_cost,
-    prim_cost, reduce_tree_cost, reg_cost, tile_unit_cost, ControllerKind,
+    prim_cost, reduce_tree_cost, reg_cost, tile_unit_cost, ControllerKind, OpCost,
 };
 
 /// Structural features of an elaborated netlist, used by the
@@ -65,7 +87,7 @@ impl AreaBreakdown {
 }
 
 /// An elaborated design: raw resources plus netlist features.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Netlist {
     /// Raw resource requirements before any low-level tool effects.
     pub raw: Resources,
@@ -73,12 +95,61 @@ pub struct Netlist {
     pub breakdown: AreaBreakdown,
     /// Netlist structure features.
     pub features: NetFeatures,
+    /// Critical-path depth of each `Pipe` body, keyed by controller id —
+    /// a byproduct of the delay-balancing ASAP schedule, recorded so the
+    /// latency estimator can skip re-scheduling (see
+    /// [`Netlist::pipe_depth`]).
+    pub pipe_depths: Vec<(NodeId, u64)>,
+}
+
+impl Netlist {
+    /// The recorded critical-path depth of pipe `ctrl`, if it was
+    /// elaborated as part of this netlist. Equals
+    /// [`pipe_depth`] on the same design.
+    pub fn pipe_depth(&self, ctrl: NodeId) -> Option<u64> {
+        self.pipe_depths
+            .iter()
+            .find(|(id, _)| *id == ctrl)
+            .map(|&(_, d)| d)
+    }
 }
 
 /// Elaborate a design into raw resource counts on `target`.
+///
+/// Skeletons are cached per-thread keyed by [`shape_hash`], so sweeping
+/// many parameterizations of one benchmark pays the structural analysis
+/// once; use [`elaborate_with`] to manage the skeleton explicitly.
 pub fn elaborate(design: &Design, target: &FpgaTarget) -> Netlist {
+    thread_local! {
+        static SKELETONS: RefCell<HashMap<u64, Rc<Skeleton>>> = RefCell::new(HashMap::new());
+    }
+    let shape = shape_hash(design);
+    let skel = SKELETONS.with(|cache| {
+        let mut map = cache.borrow_mut();
+        // Bound the per-thread cache; a sweep touches a handful of shapes.
+        if map.len() >= 256 {
+            map.clear();
+        }
+        map.entry(shape)
+            .or_insert_with(|| Rc::new(Skeleton::with_shape(design, shape)))
+            .clone()
+    });
+    elaborate_with(design, target, &skel)
+}
+
+/// Elaborate `design` using a pre-built structural [`Skeleton`].
+///
+/// The skeleton must have been built from a design with the same
+/// [`shape_hash`] (same structure; parameters are free to differ) —
+/// this is checked in debug builds.
+pub fn elaborate_with(design: &Design, target: &FpgaTarget, skel: &Skeleton) -> Netlist {
+    debug_assert_eq!(
+        skel.shape,
+        shape_hash(design),
+        "skeleton/design structure mismatch"
+    );
     let mut acc = Acc::default();
-    visit(design, target, design.top(), 1.0, &mut acc);
+    visit_plan(design, target, &skel.root, 1.0, &mut acc);
     let stats = DesignStats::of(design);
     Netlist {
         raw: acc.breakdown.total(),
@@ -91,7 +162,259 @@ pub fn elaborate(design: &Design, target: &FpgaTarget) -> Netlist {
             edges: acc.edges,
             avg_width: stats.avg_width(),
         },
+        pipe_depths: acc.pipe_depths,
     }
+}
+
+/// A hash of everything about a design that the [`Skeleton`] bakes in:
+/// the controller tree, pipe body topology and wiring, node kinds, ops
+/// and types — and nothing that varies across DSE points of one
+/// benchmark (par factors, counter bounds, tile extents, memory
+/// geometry, banking, constant values). Two designs with equal shape
+/// hashes can share a skeleton.
+pub fn shape_hash(design: &Design) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(design.name().as_bytes());
+    h.write_u64(design.len() as u64);
+    let id_list = |h: &mut Fnv64, ids: &[NodeId]| {
+        h.write_u64(ids.len() as u64);
+        for &i in ids {
+            h.write_u64(i.index() as u64);
+        }
+    };
+    for (id, node) in design.iter() {
+        h.write_u64(id.index() as u64);
+        h.write_u64(ty_code(node.ty));
+        match &node.kind {
+            NodeKind::Const(_) => h.write_u64(1),
+            NodeKind::Prim { op, inputs } => {
+                h.write_u64(2);
+                h.write_u64(*op as u64);
+                id_list(&mut h, inputs);
+            }
+            NodeKind::Mux {
+                sel,
+                if_true,
+                if_false,
+            } => {
+                h.write_u64(3);
+                id_list(&mut h, &[*sel, *if_true, *if_false]);
+            }
+            NodeKind::Load { mem, addr } => {
+                h.write_u64(4);
+                h.write_u64(mem.index() as u64);
+                id_list(&mut h, addr);
+            }
+            NodeKind::Store { mem, addr, value } => {
+                h.write_u64(5);
+                h.write_u64(mem.index() as u64);
+                h.write_u64(value.index() as u64);
+                id_list(&mut h, addr);
+            }
+            NodeKind::Iter { ctrl, dim } => {
+                h.write_u64(6);
+                h.write_u64(ctrl.index() as u64);
+                h.write_u64(*dim as u64);
+            }
+            NodeKind::OffChip { dims } => {
+                h.write_u64(7);
+                h.write_u64(dims.len() as u64);
+            }
+            NodeKind::Bram(b) => {
+                h.write_u64(8);
+                h.write_u64(b.dims.len() as u64);
+            }
+            NodeKind::Reg(_) => h.write_u64(9),
+            NodeKind::PriorityQueue(_) => h.write_u64(10),
+            NodeKind::Pipe(p) => {
+                h.write_u64(11);
+                h.write_u64(p.ctr.dims.len() as u64);
+                h.write_u64(pattern_code(p.pattern));
+                id_list(&mut h, &p.body);
+                if let Some(r) = &p.reduce {
+                    id_list(&mut h, &[r.value, r.reg]);
+                } else {
+                    h.write_u64(0);
+                }
+            }
+            NodeKind::MetaPipe(s) | NodeKind::Sequential(s) => {
+                h.write_u64(if matches!(node.kind, NodeKind::MetaPipe(_)) {
+                    12
+                } else {
+                    13
+                });
+                h.write_u64(s.ctr.dims.len() as u64);
+                h.write_u64(pattern_code(s.pattern));
+                id_list(&mut h, &s.stages);
+                id_list(&mut h, &s.locals);
+                if let Some(f) = &s.fold {
+                    id_list(&mut h, &[f.src, f.accum]);
+                } else {
+                    h.write_u64(0);
+                }
+            }
+            NodeKind::ParallelCtrl { stages, locals } => {
+                h.write_u64(14);
+                id_list(&mut h, stages);
+                id_list(&mut h, locals);
+            }
+            NodeKind::TileLoad(t) | NodeKind::TileStore(t) => {
+                h.write_u64(if matches!(node.kind, NodeKind::TileLoad(_)) {
+                    15
+                } else {
+                    16
+                });
+                id_list(&mut h, &[t.offchip, t.local]);
+                id_list(&mut h, &t.offsets);
+                h.write_u64(t.tile.len() as u64);
+            }
+        }
+    }
+    h.finish()
+}
+
+fn ty_code(ty: DType) -> u64 {
+    match ty {
+        DType::Fix { sign, int, frac } => {
+            (1 << 48) | (u64::from(sign) << 32) | (u64::from(int) << 16) | u64::from(frac)
+        }
+        DType::F32 => 2 << 48,
+        DType::F64 => 3 << 48,
+        DType::Bool => 4 << 48,
+    }
+}
+
+fn pattern_code(p: Pattern) -> u64 {
+    match p {
+        Pattern::Map => 0,
+        Pattern::Reduce(op) => 1 + op as u64,
+    }
+}
+
+/// The structure-dependent half of elaboration: the controller tree with,
+/// per `Pipe`, resolved per-lane cost-model lookups and body wiring.
+/// Build once per benchmark structure (see [`shape_hash`]) and re-cost
+/// arbitrarily many parameterizations with [`elaborate_with`].
+#[derive(Debug, Clone)]
+pub struct Skeleton {
+    shape: u64,
+    root: CtrlPlan,
+}
+
+impl Skeleton {
+    /// Analyze `design`'s structure.
+    pub fn of(design: &Design) -> Skeleton {
+        Skeleton::with_shape(design, shape_hash(design))
+    }
+
+    fn with_shape(design: &Design, shape: u64) -> Skeleton {
+        Skeleton {
+            shape,
+            root: ctrl_plan(design, design.top()),
+        }
+    }
+
+    /// The [`shape_hash`] of the structure this skeleton was built from.
+    pub fn shape(&self) -> u64 {
+        self.shape
+    }
+}
+
+/// One controller in the skeleton tree.
+#[derive(Debug, Clone)]
+struct CtrlPlan {
+    id: NodeId,
+    /// Present iff the controller is an innermost `Pipe`.
+    pipe: Option<PipePlan>,
+    /// Child stages, in program order (outer controllers only).
+    children: Vec<CtrlPlan>,
+}
+
+/// Pre-resolved structure of one pipe body.
+#[derive(Debug, Clone)]
+struct PipePlan {
+    body: Vec<BodyPlan>,
+    /// Dataflow edges of one body replica (Σ input counts).
+    edges: f64,
+}
+
+/// One body node: its cost-model resolution and intra-body wiring.
+#[derive(Debug, Clone)]
+struct BodyPlan {
+    cost: BodyCost,
+    /// The node's own element type (delay bit-widths, access lanes).
+    ty: DType,
+    /// Positions (indices into the body) of inputs that are themselves
+    /// body nodes, in raw input order. Other inputs (iterators,
+    /// out-of-body values) are timing-free.
+    sched_inputs: Vec<u32>,
+}
+
+#[derive(Debug, Clone)]
+enum BodyCost {
+    /// Cost fully determined by structure (Prim at its cost type, Mux).
+    Fixed(OpCost),
+    /// Memory access: banking is a DSE parameter, so the cost-model
+    /// lookup happens at re-cost time against the concrete `BramSpec`.
+    Access { mem: NodeId },
+    /// Constants and other cost-free body nodes.
+    Free,
+}
+
+fn ctrl_plan(design: &Design, ctrl: NodeId) -> CtrlPlan {
+    let (pipe, children) = match design.kind(ctrl) {
+        NodeKind::Pipe(p) => (Some(pipe_plan(design, p)), Vec::new()),
+        NodeKind::MetaPipe(s) | NodeKind::Sequential(s) => (
+            None,
+            s.stages.iter().map(|&st| ctrl_plan(design, st)).collect(),
+        ),
+        NodeKind::ParallelCtrl { stages, .. } => (
+            None,
+            stages.iter().map(|&st| ctrl_plan(design, st)).collect(),
+        ),
+        _ => (None, Vec::new()),
+    };
+    CtrlPlan {
+        id: ctrl,
+        pipe,
+        children,
+    }
+}
+
+fn pipe_plan(design: &Design, p: &PipeSpec) -> PipePlan {
+    let position: HashMap<NodeId, u32> = p
+        .body
+        .iter()
+        .enumerate()
+        .map(|(k, &n)| (n, k as u32))
+        .collect();
+    let mut edges = 0.0;
+    let body = p
+        .body
+        .iter()
+        .map(|&n| {
+            let node = design.node(n);
+            let cost = match &node.kind {
+                NodeKind::Prim { op, .. } => BodyCost::Fixed(prim_cost(*op, cost_ty(design, n))),
+                NodeKind::Mux { .. } => BodyCost::Fixed(mux_cost(node.ty)),
+                NodeKind::Load { mem, .. } | NodeKind::Store { mem, .. } => {
+                    BodyCost::Access { mem: *mem }
+                }
+                _ => BodyCost::Free,
+            };
+            let inputs = design.prim_inputs(n);
+            edges += inputs.len() as f64;
+            BodyPlan {
+                cost,
+                ty: node.ty,
+                sched_inputs: inputs
+                    .iter()
+                    .filter_map(|i| position.get(i).copied())
+                    .collect(),
+            }
+        })
+        .collect();
+    PipePlan { body, edges }
 }
 
 #[derive(Debug, Default)]
@@ -99,18 +422,26 @@ struct Acc {
     breakdown: AreaBreakdown,
     edges: f64,
     phys_prims: f64,
+    pipe_depths: Vec<(NodeId, u64)>,
 }
 
-fn visit(design: &Design, target: &FpgaTarget, ctrl: NodeId, rep: f64, acc: &mut Acc) {
+/// The param-dependent re-costing pass. Mirrors a direct recursive walk
+/// of the design *exactly* — same cost lookups, same floating-point
+/// accumulation order — so netlists are bit-identical to pre-skeleton
+/// elaboration (asserted by tests).
+fn visit_plan(design: &Design, target: &FpgaTarget, plan: &CtrlPlan, rep: f64, acc: &mut Acc) {
+    let ctrl = plan.id;
     match design.kind(ctrl) {
         NodeKind::Pipe(p) => {
             acc.breakdown.control += counter_cost().times(p.ctr.dims.len() as f64 * rep);
             acc.breakdown.control += controller_cost(ControllerKind::Pipe, 0).times(rep);
-            let (datapath, delays) = pipe_body_resources(design, target, ctrl, p);
+            let pipe = plan.pipe.as_ref().expect("pipe plan for Pipe node");
+            let (datapath, delays, depth) = pipe_cost(design, target, p, pipe);
             acc.breakdown.primitives += datapath.times(rep);
             acc.breakdown.delays += delays.times(rep);
-            acc.edges += body_edges(design, p) * rep * f64::from(p.par);
+            acc.edges += pipe.edges * rep * f64::from(p.par);
             acc.phys_prims += p.body.len() as f64 * rep * f64::from(p.par);
+            acc.pipe_depths.push((ctrl, depth));
         }
         NodeKind::MetaPipe(s) | NodeKind::Sequential(s) => {
             let is_meta = matches!(design.kind(ctrl), NodeKind::MetaPipe(_));
@@ -125,8 +456,8 @@ fn visit(design: &Design, target: &FpgaTarget, ctrl: NodeId, rep: f64, acc: &mut
             for &m in &s.locals {
                 acc.breakdown.memories += memory_resources(design, target, m).times(child_rep);
             }
-            for &st in &s.stages {
-                visit(design, target, st, child_rep, acc);
+            for child in &plan.children {
+                visit_plan(design, target, child, child_rep, acc);
             }
             if let Some(f) = &s.fold {
                 // The implicit fold stage: one combiner lane per port lane,
@@ -143,8 +474,8 @@ fn visit(design: &Design, target: &FpgaTarget, ctrl: NodeId, rep: f64, acc: &mut
             for &m in locals {
                 acc.breakdown.memories += memory_resources(design, target, m).times(rep);
             }
-            for &st in stages {
-                visit(design, target, st, rep, acc);
+            for child in &plan.children {
+                visit_plan(design, target, child, rep, acc);
             }
         }
         NodeKind::TileLoad(t) | NodeKind::TileStore(t) => {
@@ -154,6 +485,75 @@ fn visit(design: &Design, target: &FpgaTarget, ctrl: NodeId, rep: f64, acc: &mut
         }
         _ => {}
     }
+}
+
+/// Datapath resources, delay-balancing resources and critical-path depth
+/// of one pipe body (per replica), computed from the skeleton plan and
+/// the concrete parameters. One array-based ASAP schedule serves both
+/// delay balancing and the recorded depth (a direct walk schedules the
+/// same body twice, once more via [`pipe_depth`]).
+fn pipe_cost(
+    design: &Design,
+    target: &FpgaTarget,
+    p: &PipeSpec,
+    plan: &PipePlan,
+) -> (Resources, Resources, u64) {
+    let par = f64::from(p.par);
+    let n = plan.body.len();
+    let mut res = Resources::zero();
+    let mut lat: Vec<u64> = Vec::with_capacity(n);
+    // Datapath nodes, replicated by the vector width. Resolve the
+    // param-dependent access costs once, capturing latencies for the
+    // schedule below.
+    for b in &plan.body {
+        let cost = match &b.cost {
+            BodyCost::Fixed(c) => *c,
+            BodyCost::Access { mem } => access_cost(b.ty, bank_count(design, *mem)),
+            BodyCost::Free => OpCost::default(),
+        };
+        res += cost.res.times(par);
+        lat.push(cost.latency);
+    }
+    // Reduction tree and accumulator for reduce-patterned pipes.
+    if let Some(r) = &p.reduce {
+        if let Pattern::Reduce(op) = p.pattern {
+            let ty = design.ty(r.reg);
+            res += reduce_tree_cost(op.prim(), ty, p.par);
+            // Final accumulator combiner.
+            res += prim_cost(op.prim(), ty).res;
+        }
+    }
+    // ASAP schedule: start[k] = max over already-scheduled body inputs of
+    // their ready time (body order is topological; a forward reference
+    // would be timing-free here, matching the direct walk).
+    let mut start = vec![0u64; n];
+    for (k, b) in plan.body.iter().enumerate() {
+        start[k] = b
+            .sched_inputs
+            .iter()
+            .map(|&j| j as usize)
+            .filter(|&j| j < k)
+            .map(|j| start[j] + lat[j])
+            .max()
+            .unwrap_or(0);
+    }
+    // Delay-balancing resources (§IV-B2): every input edge with slack
+    // relative to the consumer's start time delays its full bit width for
+    // the slack cycles.
+    let mut delays = Resources::zero();
+    for (k, b) in plan.body.iter().enumerate() {
+        for &j in &b.sched_inputs {
+            let j = j as usize;
+            let ready = start[j] + lat[j];
+            let slack = start[k].saturating_sub(ready);
+            if slack > 0 {
+                let bits = plan.body[j].ty.bits() * p.par;
+                delays += delay_cost(target, slack, bits);
+            }
+        }
+    }
+    let depth = (0..n).map(|k| start[k] + lat[k]).max().unwrap_or(0);
+    (res, delays, depth)
 }
 
 fn memory_resources(design: &Design, target: &FpgaTarget, mem: NodeId) -> Resources {
@@ -169,7 +569,7 @@ fn memory_resources(design: &Design, target: &FpgaTarget, mem: NodeId) -> Resour
 /// The type at which a primitive's cost is characterized: predicates are
 /// costed at their (widest) input type, since a 32-bit comparison produces
 /// a 1-bit result but consumes 32-bit datapaths.
-fn cost_ty(design: &Design, n: NodeId) -> dhdl_core::DType {
+fn cost_ty(design: &Design, n: NodeId) -> DType {
     match design.kind(n) {
         NodeKind::Prim { op, inputs } if op.is_predicate() => inputs
             .iter()
@@ -216,6 +616,9 @@ pub(crate) fn asap_schedule(design: &Design, p: &PipeSpec) -> BTreeMap<NodeId, u
 }
 
 /// Critical-path depth (latency of one iteration) of a pipe body.
+///
+/// Stand-alone recomputation; an elaborated [`Netlist`] already carries
+/// these depths (see [`Netlist::pipe_depth`]).
 pub fn pipe_depth(design: &Design, p: &PipeSpec) -> u64 {
     let sched = asap_schedule(design, p);
     p.body
@@ -225,71 +628,157 @@ pub fn pipe_depth(design: &Design, p: &PipeSpec) -> u64 {
         .unwrap_or(0)
 }
 
-fn body_edges(design: &Design, p: &PipeSpec) -> f64 {
-    p.body
-        .iter()
-        .map(|&n| design.prim_inputs(n).len() as f64)
-        .sum()
-}
-
-/// Datapath and delay-balancing resources of one pipe body (per replica).
-fn pipe_body_resources(
-    design: &Design,
-    target: &FpgaTarget,
-    _pipe: NodeId,
-    p: &PipeSpec,
-) -> (Resources, Resources) {
-    let par = f64::from(p.par);
-    let mut res = Resources::zero();
-    // Datapath nodes, replicated by the vector width.
-    for &n in &p.body {
-        let node = design.node(n);
-        let lane = match &node.kind {
-            NodeKind::Prim { op, .. } => prim_cost(*op, cost_ty(design, n)).res,
-            NodeKind::Mux { .. } => mux_cost(node.ty).res,
-            NodeKind::Load { mem, .. } | NodeKind::Store { mem, .. } => {
-                access_cost(node.ty, bank_count(design, *mem)).res
-            }
-            _ => Resources::zero(),
-        };
-        res += lane.times(par);
-    }
-    // Reduction tree and accumulator for reduce-patterned pipes.
-    if let Some(r) = &p.reduce {
-        if let Pattern::Reduce(op) = p.pattern {
-            let ty = design.ty(r.reg);
-            res += reduce_tree_cost(op.prim(), ty, p.par);
-            // Final accumulator combiner.
-            res += prim_cost(op.prim(), ty).res;
-        }
-    }
-    // Delay-balancing resources from the ASAP schedule (§IV-B2): every
-    // input edge with slack relative to the consumer's start time delays
-    // its full bit width for the slack cycles.
-    let mut delays = Resources::zero();
-    let sched = asap_schedule(design, p);
-    for &n in &p.body {
-        let n_start = sched[&n];
-        for i in design.prim_inputs(n) {
-            let Some(&i_start) = sched.get(&i) else {
-                continue; // constants and loop iterators are timing-free
-            };
-            let ready = i_start + body_node_latency(design, i);
-            let slack = n_start.saturating_sub(ready);
-            if slack > 0 {
-                let bits = design.ty(i).bits() * p.par;
-                delays += delay_cost(target, slack, bits);
-            }
-        }
-    }
-    (res, delays)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dhdl_core::{by, DType, DesignBuilder, ReduceOp};
+    use dhdl_core::{by, DesignBuilder, ReduceOp};
     use dhdl_target::FpgaTarget;
+
+    /// The pre-skeleton direct elaboration walk, kept verbatim as the
+    /// bit-exactness oracle for the skeleton/re-cost split.
+    fn elaborate_direct(design: &Design, target: &FpgaTarget) -> Netlist {
+        #[derive(Default)]
+        struct DirectAcc {
+            breakdown: AreaBreakdown,
+            edges: f64,
+            phys_prims: f64,
+        }
+
+        fn body_edges(design: &Design, p: &PipeSpec) -> f64 {
+            p.body
+                .iter()
+                .map(|&n| design.prim_inputs(n).len() as f64)
+                .sum()
+        }
+
+        fn pipe_body_resources(
+            design: &Design,
+            target: &FpgaTarget,
+            p: &PipeSpec,
+        ) -> (Resources, Resources) {
+            let par = f64::from(p.par);
+            let mut res = Resources::zero();
+            for &n in &p.body {
+                let node = design.node(n);
+                let lane = match &node.kind {
+                    NodeKind::Prim { op, .. } => prim_cost(*op, cost_ty(design, n)).res,
+                    NodeKind::Mux { .. } => mux_cost(node.ty).res,
+                    NodeKind::Load { mem, .. } | NodeKind::Store { mem, .. } => {
+                        access_cost(node.ty, bank_count(design, *mem)).res
+                    }
+                    _ => Resources::zero(),
+                };
+                res += lane.times(par);
+            }
+            if let Some(r) = &p.reduce {
+                if let Pattern::Reduce(op) = p.pattern {
+                    let ty = design.ty(r.reg);
+                    res += reduce_tree_cost(op.prim(), ty, p.par);
+                    res += prim_cost(op.prim(), ty).res;
+                }
+            }
+            let mut delays = Resources::zero();
+            let sched = asap_schedule(design, p);
+            for &n in &p.body {
+                let n_start = sched[&n];
+                for i in design.prim_inputs(n) {
+                    let Some(&i_start) = sched.get(&i) else {
+                        continue;
+                    };
+                    let ready = i_start + body_node_latency(design, i);
+                    let slack = n_start.saturating_sub(ready);
+                    if slack > 0 {
+                        let bits = design.ty(i).bits() * p.par;
+                        delays += delay_cost(target, slack, bits);
+                    }
+                }
+            }
+            (res, delays)
+        }
+
+        fn visit(
+            design: &Design,
+            target: &FpgaTarget,
+            ctrl: NodeId,
+            rep: f64,
+            acc: &mut DirectAcc,
+        ) {
+            match design.kind(ctrl) {
+                NodeKind::Pipe(p) => {
+                    acc.breakdown.control += counter_cost().times(p.ctr.dims.len() as f64 * rep);
+                    acc.breakdown.control += controller_cost(ControllerKind::Pipe, 0).times(rep);
+                    let (datapath, delays) = pipe_body_resources(design, target, p);
+                    acc.breakdown.primitives += datapath.times(rep);
+                    acc.breakdown.delays += delays.times(rep);
+                    acc.edges += body_edges(design, p) * rep * f64::from(p.par);
+                    acc.phys_prims += p.body.len() as f64 * rep * f64::from(p.par);
+                }
+                NodeKind::MetaPipe(s) | NodeKind::Sequential(s) => {
+                    let is_meta = matches!(design.kind(ctrl), NodeKind::MetaPipe(_));
+                    let kind = if is_meta {
+                        ControllerKind::MetaPipe
+                    } else {
+                        ControllerKind::Sequential
+                    };
+                    acc.breakdown.control += counter_cost().times(s.ctr.dims.len() as f64 * rep);
+                    acc.breakdown.control += controller_cost(kind, s.stages.len()).times(rep);
+                    let child_rep = rep * f64::from(s.par);
+                    for &m in &s.locals {
+                        acc.breakdown.memories +=
+                            memory_resources(design, target, m).times(child_rep);
+                    }
+                    for &st in &s.stages {
+                        visit(design, target, st, child_rep, acc);
+                    }
+                    if let Some(f) = &s.fold {
+                        let ty = design.ty(f.accum);
+                        let op = f.op.prim();
+                        acc.breakdown.primitives += prim_cost(op, ty).res.times(child_rep);
+                        acc.breakdown.primitives += access_cost(ty, 1).res.times(2.0 * child_rep);
+                    }
+                }
+                NodeKind::ParallelCtrl { stages, locals } => {
+                    acc.breakdown.control +=
+                        controller_cost(ControllerKind::Parallel, stages.len()).times(rep);
+                    for &m in locals {
+                        acc.breakdown.memories += memory_resources(design, target, m).times(rep);
+                    }
+                    for &st in stages {
+                        visit(design, target, st, rep, acc);
+                    }
+                }
+                NodeKind::TileLoad(t) | NodeKind::TileStore(t) => {
+                    let ty = design.ty(t.offchip);
+                    acc.breakdown.transfers +=
+                        tile_unit_cost(target, ty.bits(), t.tile.len(), t.par).times(rep);
+                }
+                _ => {}
+            }
+        }
+
+        let mut acc = DirectAcc::default();
+        visit(design, target, design.top(), 1.0, &mut acc);
+        let stats = DesignStats::of(design);
+        let mut depths = Vec::new();
+        for id in design.find_all(|n| matches!(n.kind, NodeKind::Pipe(_))) {
+            if let NodeKind::Pipe(p) = design.kind(id) {
+                depths.push((id, pipe_depth(design, p)));
+            }
+        }
+        Netlist {
+            raw: acc.breakdown.total(),
+            breakdown: acc.breakdown,
+            features: NetFeatures {
+                prims: acc.phys_prims.max(1.0),
+                mems: stats.memories as f64,
+                ctrls: stats.controllers as f64,
+                depth: stats.depth as f64,
+                edges: acc.edges,
+                avg_width: stats.avg_width(),
+            },
+            pipe_depths: depths,
+        }
+    }
 
     fn dot_design(par: u32, tile: u64) -> Design {
         let mut b = DesignBuilder::new("dot");
@@ -313,6 +802,75 @@ mod tests {
             });
         });
         b.finish().unwrap()
+    }
+
+    /// Netlists sorted for comparison: direct-walk depths come out in
+    /// `find_all` (arena) order, skeleton depths in visit order.
+    fn normalized(mut n: Netlist) -> Netlist {
+        n.pipe_depths.sort_unstable();
+        n
+    }
+
+    #[test]
+    fn skeleton_recost_is_bit_identical_to_direct_walk() {
+        let t = FpgaTarget::stratix_v();
+        for (par, tile) in [(1, 64), (2, 64), (4, 128), (8, 512), (16, 32)] {
+            let d = dot_design(par, tile);
+            let direct = normalized(elaborate_direct(&d, &t));
+            let skel = normalized(elaborate(&d, &t));
+            assert_eq!(direct, skel, "par={par} tile={tile}");
+        }
+    }
+
+    #[test]
+    fn skeleton_is_shared_across_params() {
+        let a = dot_design(1, 64);
+        let b = dot_design(8, 512);
+        assert_eq!(shape_hash(&a), shape_hash(&b));
+        let skel = Skeleton::of(&a);
+        let t = FpgaTarget::stratix_v();
+        // A skeleton built from one parameterization re-costs another.
+        assert_eq!(
+            normalized(elaborate_with(&b, &t, &skel)),
+            normalized(elaborate_direct(&b, &t))
+        );
+    }
+
+    #[test]
+    fn shape_hash_separates_structures() {
+        let dot = dot_design(1, 64);
+        let mut b = DesignBuilder::new("dot");
+        let x = b.off_chip("x", DType::F32, &[1024]);
+        b.sequential(|b| {
+            b.meta_pipe(&[by(1024, 64)], 1, |b, iters| {
+                let i = iters[0];
+                let xt = b.bram("xT", DType::F32, &[64]);
+                b.tile_load(x, xt, &[i], &[64], 1);
+                b.pipe(&[by(64, 1)], 1, |b, it| {
+                    let v = b.load(xt, &[it[0]]);
+                    let w = b.mul(v, v);
+                    b.store(xt, &[it[0]], w);
+                });
+            });
+        });
+        let other = b.finish().unwrap();
+        assert_ne!(shape_hash(&dot), shape_hash(&other));
+    }
+
+    #[test]
+    fn netlist_records_pipe_depths() {
+        let t = FpgaTarget::stratix_v();
+        let d = dot_design(1, 64);
+        let net = elaborate(&d, &t);
+        let pipes = d.find_all(|n| matches!(n.kind, NodeKind::Pipe(_)));
+        assert!(!pipes.is_empty());
+        for id in pipes {
+            let NodeKind::Pipe(p) = d.kind(id) else {
+                unreachable!()
+            };
+            assert_eq!(net.pipe_depth(id), Some(pipe_depth(&d, p)));
+        }
+        assert_eq!(net.pipe_depth(NodeId::from_raw(u32::MAX - 1)), None);
     }
 
     #[test]

@@ -47,5 +47,8 @@ pub mod elaborate;
 pub mod lowlevel;
 pub mod maxj;
 
-pub use elaborate::{elaborate, pipe_depth, AreaBreakdown, NetFeatures, Netlist};
+pub use elaborate::{
+    elaborate, elaborate_with, pipe_depth, shape_hash, AreaBreakdown, NetFeatures, Netlist,
+    Skeleton,
+};
 pub use lowlevel::{design_hash, place_and_route, synthesize, SynthReport};
