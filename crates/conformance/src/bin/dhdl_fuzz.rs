@@ -1,0 +1,269 @@
+//! `dhdl-fuzz` — the differential-conformance fuzzing entry point.
+//!
+//! Default mode generates `--designs` design specs and `--patterns`
+//! pattern specs from `--seed`, runs the full layered oracle on each,
+//! greedily shrinks any failure, persists it as a replayable case under
+//! `--out` (default `tests/corpus`), and finishes with the benchmark
+//! differentials. Stdout is byte-deterministic for a fixed seed: all
+//! timing goes to stderr.
+//!
+//! `--replay DIR` instead re-runs the oracle over every `*.case` file in
+//! `DIR` (sorted), which is how CI pins the corpus. `--emit-corpus DIR`
+//! writes the standard seed corpus. `--budget-ms T` time-boxes the fuzz
+//! loops (for CI smoke jobs; cases are never cut short mid-oracle).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dhdl_conformance::corpus::{load_dir, write_case, CaseKind, CorpusCase};
+use dhdl_conformance::{
+    generate, generate_pattern, shrink, shrink_pattern, Conformance, Violation,
+};
+
+struct Args {
+    designs: u64,
+    patterns: u64,
+    seed: u64,
+    budget_ms: Option<u64>,
+    replay: Option<PathBuf>,
+    emit_corpus: Option<PathBuf>,
+    out: PathBuf,
+    skip_benches: bool,
+}
+
+const USAGE: &str = "usage: dhdl-fuzz [--designs N] [--patterns N] [--seed S] \
+[--budget-ms T] [--replay DIR] [--emit-corpus DIR] [--out DIR] [--skip-benches]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        designs: 200,
+        patterns: 50,
+        seed: 0,
+        budget_ms: None,
+        replay: None,
+        emit_corpus: None,
+        out: PathBuf::from("tests/corpus"),
+        skip_benches: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--designs" => args.designs = parse_num(&value("--designs")?)?,
+            "--patterns" => args.patterns = parse_num(&value("--patterns")?)?,
+            "--seed" => args.seed = parse_num(&value("--seed")?)?,
+            "--budget-ms" => args.budget_ms = Some(parse_num(&value("--budget-ms")?)?),
+            "--replay" => args.replay = Some(PathBuf::from(value("--replay")?)),
+            "--emit-corpus" => args.emit_corpus = Some(PathBuf::from(value("--emit-corpus")?)),
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--skip-benches" => args.skip_benches = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unrecognized flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("invalid number `{s}`"))
+}
+
+fn print_violations(kind: &str, line: &str, violations: &[Violation]) {
+    for v in violations {
+        println!("FAIL {kind} {line}");
+        println!("  {v}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let start = Instant::now();
+    eprintln!("dhdl-fuzz: calibrating estimator...");
+    let conf = Conformance::new();
+    eprintln!("dhdl-fuzz: ready in {:.1}s", start.elapsed().as_secs_f64());
+
+    if let Some(dir) = &args.replay {
+        return replay(&conf, dir);
+    }
+    if let Some(dir) = &args.emit_corpus {
+        return emit_corpus(&conf, dir, args.seed);
+    }
+
+    let budget = args.budget_ms.map(std::time::Duration::from_millis);
+    let out_of_time = |done: u64, what: &str| -> bool {
+        let over = budget.is_some_and(|b| start.elapsed() > b);
+        if over {
+            println!("budget exhausted after {done} {what}");
+        }
+        over
+    };
+
+    let mut total_violations = 0usize;
+    let mut designs_run = 0u64;
+    for case_id in 0..args.designs {
+        if out_of_time(case_id, "designs") {
+            break;
+        }
+        let spec = generate(args.seed, case_id);
+        let violations = conf.check_design(&spec);
+        if !violations.is_empty() {
+            total_violations += violations.len();
+            let invariant = violations[0].invariant;
+            let small = shrink(&conf, &spec, invariant);
+            let case = CorpusCase {
+                invariant: invariant.to_string(),
+                kind: CaseKind::Design(small),
+            };
+            print_violations(
+                "design",
+                &dhdl_conformance::corpus::design_to_line(&spec),
+                &violations,
+            );
+            persist(&args.out, &case);
+        }
+        designs_run += 1;
+        if case_id % 50 == 49 {
+            eprintln!(
+                "dhdl-fuzz: {} designs in {:.1}s",
+                case_id + 1,
+                start.elapsed().as_secs_f64()
+            );
+        }
+    }
+    println!("designs: {designs_run} checked");
+
+    let mut patterns_run = 0u64;
+    for case_id in 0..args.patterns {
+        if out_of_time(case_id, "patterns") {
+            break;
+        }
+        let spec = generate_pattern(args.seed, case_id);
+        let violations = conf.check_pattern(&spec);
+        if !violations.is_empty() {
+            total_violations += violations.len();
+            let invariant = violations[0].invariant;
+            let small = shrink_pattern(&conf, &spec, invariant);
+            let case = CorpusCase {
+                invariant: invariant.to_string(),
+                kind: CaseKind::Pattern(small),
+            };
+            print_violations(
+                "pattern",
+                &dhdl_conformance::corpus::pattern_to_line(&spec),
+                &violations,
+            );
+            persist(&args.out, &case);
+        }
+        patterns_run += 1;
+    }
+    println!("patterns: {patterns_run} checked");
+
+    let mut benches_run = 0u64;
+    if !args.skip_benches && !out_of_time(0, "benchmarks") {
+        for bench in dhdl_conformance::apps::default_benchmarks() {
+            let violations = conf.check_benchmark(bench.as_ref());
+            total_violations += violations.len();
+            print_violations("bench", bench.name(), &violations);
+            benches_run += 1;
+        }
+    }
+    println!("benchmarks: {benches_run} checked");
+    println!("violations: {total_violations}");
+    eprintln!("dhdl-fuzz: done in {:.1}s", start.elapsed().as_secs_f64());
+    if total_violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn persist(dir: &Path, case: &CorpusCase) {
+    match write_case(dir, case) {
+        Ok(path) => println!("  shrunk case written to {}", path.display()),
+        Err(e) => eprintln!("dhdl-fuzz: failed to persist case: {e}"),
+    }
+}
+
+fn replay(conf: &Conformance, dir: &Path) -> ExitCode {
+    let cases = match load_dir(dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("dhdl-fuzz: replay failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut total = 0usize;
+    for (path, case) in &cases {
+        let violations = case.check(conf);
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if violations.is_empty() {
+            println!("replay {name}: ok");
+        } else {
+            total += violations.len();
+            println!("replay {name}: {} violations", violations.len());
+            for v in &violations {
+                println!("  {v}");
+            }
+        }
+    }
+    println!("replayed: {} cases, {total} violations", cases.len());
+    if total == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Seed the corpus with representative *passing* cases: they pin the
+/// zero-violation baseline, the corpus file format, and the replay
+/// plumbing from day one (shrunk failures join them if a bug appears).
+fn emit_corpus(conf: &Conformance, dir: &Path, seed: u64) -> ExitCode {
+    let mut cases = Vec::new();
+    for case_id in 0..6 {
+        cases.push(CorpusCase {
+            invariant: "none".to_string(),
+            kind: CaseKind::Design(generate(seed, case_id)),
+        });
+    }
+    for case_id in 0..4 {
+        cases.push(CorpusCase {
+            invariant: "none".to_string(),
+            kind: CaseKind::Pattern(generate_pattern(seed, case_id)),
+        });
+    }
+    for case in &cases {
+        let violations = case.check(conf);
+        if !violations.is_empty() {
+            eprintln!(
+                "dhdl-fuzz: refusing to emit a failing seed case ({} violations)",
+                violations.len()
+            );
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+        match write_case(dir, case) {
+            Ok(path) => println!("emitted {}", path.display()),
+            Err(e) => {
+                eprintln!("dhdl-fuzz: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("emitted: {} cases", cases.len());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,519 @@
+//! Seeded generation of arbitrary *legal* DHDL designs.
+//!
+//! The generator draws a [`DesignSpec`] — a small metaprogram AST — and
+//! instantiates it through [`dhdl_core::DesignBuilder`], so every emitted
+//! design passes the builder's structural validation by construction:
+//! nested Sequential/Pipe/MetaPipe controllers, tile loads/stores,
+//! register reductions with cross-tile folds, mixed datatypes, and
+//! parameter values sampled from a randomized [`ParamSpace`] instance.
+//!
+//! A spec is also *evaluable*: [`DesignSpec::reference`] computes the
+//! design's outputs with a plain-Rust mirror of the simulator's
+//! quantization semantics, giving the oracle an independent functional
+//! reference for every generated design — not just the hand benchmarks.
+//! Specs serialize to a one-line text form (corpus persistence) and
+//! shrink structurally (see [`crate::shrink`]).
+
+use dhdl_core::{
+    by, DType, Design, DesignBuilder, NodeId, ParamKind, ParamSpace, ParamValues, PrimOp, ReduceOp,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The right-hand operand of a datapath step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// A literal constant (pre-quantized to the design dtype).
+    Lit(f64),
+    /// The matching element of the second input array `y`.
+    Second,
+    /// The pipe's local iteration index.
+    Index,
+}
+
+/// One step of a generated elementwise kernel chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MapStep {
+    /// `v = op(v, rhs)` for a binary arithmetic primitive.
+    Bin {
+        /// The primitive (Add/Sub/Mul/Min/Max).
+        op: PrimOp,
+        /// The right-hand operand.
+        rhs: Operand,
+    },
+    /// `v = op(v)` for a unary primitive (Abs/Neg/Sqrt).
+    Un {
+        /// The primitive.
+        op: PrimOp,
+    },
+    /// `v = v < thresh ? v : rhs` — a predicate plus mux.
+    Select {
+        /// Comparison threshold (pre-quantized).
+        thresh: f64,
+        /// The mux's other arm.
+        rhs: Operand,
+    },
+}
+
+impl MapStep {
+    fn uses_second(&self) -> bool {
+        matches!(
+            self,
+            MapStep::Bin {
+                rhs: Operand::Second,
+                ..
+            } | MapStep::Select {
+                rhs: Operand::Second,
+                ..
+            }
+        )
+    }
+}
+
+/// A generated design metaprogram: a tiled elementwise kernel with an
+/// optional second stage and an optional cross-tile reduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpec {
+    /// Case identity (drives naming and input data).
+    pub case_id: u64,
+    /// Element datatype of the whole datapath.
+    pub ty: DType,
+    /// Total input length.
+    pub n: u64,
+    /// Tile size (divides `n`; sampled from a `ParamSpace`).
+    pub tile: u64,
+    /// Inner pipe parallelism (divides `tile`).
+    pub par: u32,
+    /// Tile-transfer parallelism.
+    pub load_par: u32,
+    /// Outer tile loop is a MetaPipe (true) or Sequential (false).
+    pub metapipe: bool,
+    /// Wrap the compute pipes in a nested Sequential controller
+    /// (map kernels only).
+    pub nested_seq: bool,
+    /// Issue the two input tile loads under a Parallel controller.
+    pub parallel_loads: bool,
+    /// First elementwise stage.
+    pub stage1: Vec<MapStep>,
+    /// Optional second stage (empty = single stage).
+    pub stage2: Vec<MapStep>,
+    /// Cross-tile reduction; `None` makes a map kernel with a full
+    ///-length output.
+    pub reduce: Option<ReduceOp>,
+}
+
+impl DesignSpec {
+    /// Whether any step reads the second input array.
+    pub fn uses_second(&self) -> bool {
+        self.stage1
+            .iter()
+            .chain(&self.stage2)
+            .any(MapStep::uses_second)
+    }
+
+    /// The design name (stable per case).
+    pub fn name(&self) -> String {
+        format!("fz{:x}", self.case_id)
+    }
+
+    /// Instantiate the spec through `DesignBuilder`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder validation errors (a generator bug: the oracle
+    /// reports any failure here as a violation).
+    pub fn build(&self) -> dhdl_core::Result<Design> {
+        let ty = self.ty;
+        let n = self.n;
+        let tile = self.tile;
+        let mut b = DesignBuilder::new(self.name());
+        let x = b.off_chip("x", ty, &[n]);
+        let y = self.uses_second().then(|| b.off_chip("y", ty, &[n]));
+        let out_len = if self.reduce.is_some() { 1 } else { n };
+        let out = b.off_chip("out", ty, &[out_len]);
+        b.sequential(|b| match self.reduce {
+            Some(op) => {
+                let acc = b.reg("acc", ty, 0.0);
+                b.outer_fold(self.metapipe, &[by(n, tile)], 1, acc, op, |b, iters| {
+                    let i = iters[0];
+                    let (xt, yt) = self.load_tiles(b, x, y, i);
+                    let partial = b.reg("partial", ty, 0.0);
+                    if self.stage2.is_empty() {
+                        b.pipe_reduce(&[by(tile, 1)], self.par, partial, op, |b, it| {
+                            let v = b.load(xt, &[it[0]]);
+                            self.emit_chain(b, &self.stage1, v, yt, it[0])
+                        });
+                    } else {
+                        let wt = b.bram("wt", ty, &[tile]);
+                        b.pipe(&[by(tile, 1)], self.par, |b, it| {
+                            let v = b.load(xt, &[it[0]]);
+                            let v = self.emit_chain(b, &self.stage1, v, yt, it[0]);
+                            b.store(wt, &[it[0]], v);
+                        });
+                        b.pipe_reduce(&[by(tile, 1)], self.par, partial, op, |b, it| {
+                            let v = b.load(wt, &[it[0]]);
+                            self.emit_chain(b, &self.stage2, v, yt, it[0])
+                        });
+                    }
+                    partial
+                });
+                let ot = b.bram("ot", ty, &[1]);
+                b.pipe(&[by(1, 1)], 1, |b, it| {
+                    let a = b.load_reg(acc);
+                    b.store(ot, &[it[0]], a);
+                });
+                let z = b.index_const(0);
+                b.tile_store(out, ot, &[z], &[1], 1);
+            }
+            None => {
+                b.outer(self.metapipe, &[by(n, tile)], 1, |b, iters| {
+                    let i = iters[0];
+                    let (xt, yt) = self.load_tiles(b, x, y, i);
+                    let st = b.bram("st", ty, &[tile]);
+                    let compute = |b: &mut DesignBuilder| {
+                        if self.stage2.is_empty() {
+                            b.pipe(&[by(tile, 1)], self.par, |b, it| {
+                                let v = b.load(xt, &[it[0]]);
+                                let v = self.emit_chain(b, &self.stage1, v, yt, it[0]);
+                                b.store(st, &[it[0]], v);
+                            });
+                        } else {
+                            let wt = b.bram("wt", ty, &[tile]);
+                            b.pipe(&[by(tile, 1)], self.par, |b, it| {
+                                let v = b.load(xt, &[it[0]]);
+                                let v = self.emit_chain(b, &self.stage1, v, yt, it[0]);
+                                b.store(wt, &[it[0]], v);
+                            });
+                            b.pipe(&[by(tile, 1)], self.par, |b, it| {
+                                let v = b.load(wt, &[it[0]]);
+                                let v = self.emit_chain(b, &self.stage2, v, yt, it[0]);
+                                b.store(st, &[it[0]], v);
+                            });
+                        }
+                    };
+                    if self.nested_seq {
+                        b.sequential(compute);
+                    } else {
+                        compute(b);
+                    }
+                    b.tile_store(out, st, &[i], &[tile], self.load_par);
+                });
+            }
+        });
+        b.finish()
+    }
+
+    fn load_tiles(
+        &self,
+        b: &mut DesignBuilder,
+        x: NodeId,
+        y: Option<NodeId>,
+        i: NodeId,
+    ) -> (NodeId, Option<NodeId>) {
+        let xt = b.bram("xt", self.ty, &[self.tile]);
+        let yt = y.map(|_| b.bram("yt", self.ty, &[self.tile]));
+        match (y, yt, self.parallel_loads) {
+            (Some(y), Some(yt), true) => {
+                b.parallel(|b| {
+                    b.tile_load(x, xt, &[i], &[self.tile], self.load_par);
+                    b.tile_load(y, yt, &[i], &[self.tile], self.load_par);
+                });
+            }
+            (Some(y), Some(yt), false) => {
+                b.tile_load(x, xt, &[i], &[self.tile], self.load_par);
+                b.tile_load(y, yt, &[i], &[self.tile], self.load_par);
+            }
+            _ => {
+                b.tile_load(x, xt, &[i], &[self.tile], self.load_par);
+            }
+        }
+        (xt, yt)
+    }
+
+    fn emit_operand(
+        &self,
+        b: &mut DesignBuilder,
+        rhs: Operand,
+        yt: Option<NodeId>,
+        it: NodeId,
+    ) -> NodeId {
+        match rhs {
+            Operand::Lit(c) => b.constant(c, self.ty),
+            Operand::Second => {
+                let yt = yt.expect("Second operand implies a y tile");
+                b.load(yt, &[it])
+            }
+            Operand::Index => it,
+        }
+    }
+
+    fn emit_chain(
+        &self,
+        b: &mut DesignBuilder,
+        steps: &[MapStep],
+        v0: NodeId,
+        yt: Option<NodeId>,
+        it: NodeId,
+    ) -> NodeId {
+        let mut v = v0;
+        for step in steps {
+            v = match *step {
+                MapStep::Bin { op, rhs } => {
+                    let r = self.emit_operand(b, rhs, yt, it);
+                    b.prim(op, &[v, r])
+                }
+                MapStep::Un { op } => b.prim(op, &[v]),
+                MapStep::Select { thresh, rhs } => {
+                    let t = b.constant(thresh, self.ty);
+                    let sel = b.prim(PrimOp::Lt, &[v, t]);
+                    let r = self.emit_operand(b, rhs, yt, it);
+                    b.mux(sel, v, r)
+                }
+            };
+        }
+        v
+    }
+
+    /// Deterministic input data for this case, pre-quantized to the
+    /// design dtype (matching what the datapath would observe anyway).
+    pub fn inputs(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(self.case_id ^ 0xDA7A_5EED);
+        let mut draw = |len: u64| -> Vec<f64> {
+            (0..len)
+                .map(|_| {
+                    self.ty
+                        .quantize(f64::from(rng.gen_range(-40i32..=40)) * 0.25)
+                })
+                .collect()
+        };
+        let x = draw(self.n);
+        let y = draw(self.n);
+        (x, y)
+    }
+
+    fn ref_operand(&self, rhs: Operand, yv: f64, it: u64) -> f64 {
+        match rhs {
+            // A Const node is quantized to its declared type at read.
+            Operand::Lit(c) => self.ty.quantize(c),
+            Operand::Second => yv,
+            Operand::Index => it as f64,
+        }
+    }
+
+    fn ref_chain(&self, steps: &[MapStep], v0: f64, yv: f64, it: u64) -> f64 {
+        let ty = self.ty;
+        let mut v = v0;
+        for step in steps {
+            v = match *step {
+                MapStep::Bin { op, rhs } => {
+                    ty.quantize(ref_apply(op, v, self.ref_operand(rhs, yv, it)))
+                }
+                MapStep::Un { op } => ty.quantize(ref_apply(op, v, 0.0)),
+                MapStep::Select { thresh, rhs } => {
+                    let t = ty.quantize(thresh);
+                    // Lt is a Bool node (0/1), then the mux re-quantizes.
+                    let sel = v < t;
+                    ty.quantize(if sel {
+                        v
+                    } else {
+                        self.ref_operand(rhs, yv, it)
+                    })
+                }
+            };
+        }
+        v
+    }
+
+    /// The expected `out` array: an independent plain-Rust evaluation
+    /// mirroring the simulator's per-node quantization semantics.
+    pub fn reference(&self, x: &[f64], y: &[f64]) -> Vec<f64> {
+        let ty = self.ty;
+        let tiles = self.n / self.tile;
+        match self.reduce {
+            None => {
+                let mut out = vec![0.0; self.n as usize];
+                for t in 0..tiles {
+                    for i in 0..self.tile {
+                        let g = (t * self.tile + i) as usize;
+                        // Load quantizes to the BRAM's type.
+                        let xv = ty.quantize(x[g]);
+                        let yv = ty.quantize(y[g]);
+                        let mut v = self.ref_chain(&self.stage1, xv, yv, i);
+                        if !self.stage2.is_empty() {
+                            // Store + reload through the staging BRAM.
+                            v = ty.quantize(v);
+                            v = self.ref_chain(&self.stage2, ty.quantize(v), yv, i);
+                        }
+                        out[g] = ty.quantize(v);
+                    }
+                }
+                out
+            }
+            Some(op) => {
+                let mut acc = op.identity();
+                for t in 0..tiles {
+                    let mut partial = op.identity();
+                    for i in 0..self.tile {
+                        let g = (t * self.tile + i) as usize;
+                        let xv = ty.quantize(x[g]);
+                        let yv = ty.quantize(y[g]);
+                        let mut v = self.ref_chain(&self.stage1, xv, yv, i);
+                        if !self.stage2.is_empty() {
+                            v = self.ref_chain(&self.stage2, ty.quantize(v), yv, i);
+                        }
+                        partial = ty.quantize(op.apply(partial, v));
+                    }
+                    // The implicit fold stage accumulates the tile's
+                    // partial into the outer register.
+                    acc = ty.quantize(op.apply(acc, partial));
+                }
+                // Write-back pipe stores through a unit BRAM.
+                vec![ty.quantize(acc)]
+            }
+        }
+    }
+
+    /// The randomized parameter-space instance this spec was sampled
+    /// from (tile/par/toggle), for legality cross-checks.
+    pub fn param_space(&self) -> ParamSpace {
+        let mut space = ParamSpace::new();
+        space.tile("ts", self.n, 2, 64.min(self.n));
+        space.par("ip", self.tile, 8);
+        space.toggle("mp");
+        space
+    }
+
+    /// The parameter values this instance was built with.
+    pub fn param_values(&self) -> ParamValues {
+        ParamValues::new()
+            .with("ts", self.tile)
+            .with("ip", u64::from(self.par))
+            .with("mp", u64::from(self.metapipe))
+    }
+}
+
+/// Reference semantics of the primitive subset the generator emits —
+/// mirrors the simulator's `apply_prim` for those ops.
+fn ref_apply(op: PrimOp, a: f64, b: f64) -> f64 {
+    match op {
+        PrimOp::Add => a + b,
+        PrimOp::Sub => a - b,
+        PrimOp::Mul => a * b,
+        PrimOp::Min => a.min(b),
+        PrimOp::Max => a.max(b),
+        PrimOp::Abs => a.abs(),
+        PrimOp::Neg => -a,
+        PrimOp::Sqrt => a.sqrt(),
+        other => panic!("generator never emits {other:?}"),
+    }
+}
+
+const BIN_OPS: [PrimOp; 5] = [
+    PrimOp::Add,
+    PrimOp::Sub,
+    PrimOp::Mul,
+    PrimOp::Min,
+    PrimOp::Max,
+];
+
+fn gen_lit(rng: &mut StdRng, ty: DType) -> f64 {
+    ty.quantize(f64::from(rng.gen_range(-12i32..=12)) * 0.5)
+}
+
+fn gen_operand(rng: &mut StdRng, ty: DType) -> Operand {
+    match rng.gen_range(0u32..10) {
+        0..=4 => Operand::Lit(gen_lit(rng, ty)),
+        5..=7 => Operand::Second,
+        // Iterator nodes are index-typed; mixing them into arithmetic
+        // only preserves the design dtype for float datapaths (type
+        // promotion prefers floats).
+        _ if ty.is_float() => Operand::Index,
+        _ => Operand::Lit(gen_lit(rng, ty)),
+    }
+}
+
+fn gen_steps(rng: &mut StdRng, ty: DType, max_len: usize) -> Vec<MapStep> {
+    let len = rng.gen_range(0usize..=max_len);
+    (0..len)
+        .map(|_| match rng.gen_range(0u32..10) {
+            0..=5 => MapStep::Bin {
+                op: BIN_OPS[rng.gen_range(0usize..BIN_OPS.len())],
+                rhs: gen_operand(rng, ty),
+            },
+            6..=7 => MapStep::Un {
+                op: if rng.gen_bool(0.5) {
+                    PrimOp::Abs
+                } else {
+                    PrimOp::Neg
+                },
+            },
+            8 if ty.is_float() => MapStep::Un { op: PrimOp::Sqrt },
+            _ => MapStep::Select {
+                thresh: gen_lit(rng, ty),
+                rhs: gen_operand(rng, ty),
+            },
+        })
+        .collect()
+}
+
+/// Generate the spec for fuzz case `case_id` under `master_seed`.
+///
+/// Deterministic: the same `(master_seed, case_id)` always yields the
+/// same spec, independent of any other case.
+pub fn generate(master_seed: u64, case_id: u64) -> DesignSpec {
+    let mut rng = StdRng::seed_from_u64(
+        master_seed ^ case_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC04F_0B5E,
+    );
+    let n = [64u64, 96, 128, 192, 256, 384, 512][rng.gen_range(0usize..7)];
+    let ty = match rng.gen_range(0u32..10) {
+        0..=4 => DType::F32,
+        5..=6 => DType::F64,
+        7..=8 => DType::fixed(true, 15, 8),
+        _ => DType::fixed(true, 23, 4),
+    };
+    // Sample the tile from a randomized ParamSpace instance, and the
+    // parallelism from the dependent Par kind.
+    let mut space = ParamSpace::new();
+    space.tile("ts", n, 2, 64.min(n));
+    let tiles = space.defs()[0].kind.legal_values();
+    let tile = tiles[rng.gen_range(0usize..tiles.len())];
+    let pars = ParamKind::Par {
+        divides: tile,
+        max: 8,
+    }
+    .legal_values();
+    let par = pars[rng.gen_range(0usize..pars.len())] as u32;
+    let stage1 = gen_steps(&mut rng, ty, 3);
+    let stage2 = if rng.gen_bool(0.4) {
+        gen_steps(&mut rng, ty, 2)
+    } else {
+        Vec::new()
+    };
+    let reduce = if rng.gen_bool(0.4) {
+        Some(match rng.gen_range(0u32..4) {
+            0..=1 => ReduceOp::Add,
+            2 => ReduceOp::Min,
+            _ => ReduceOp::Max,
+        })
+    } else {
+        None
+    };
+    let metapipe = rng.gen_bool(0.5);
+    let nested_seq = reduce.is_none() && rng.gen_bool(0.3);
+    let mut spec = DesignSpec {
+        case_id,
+        ty,
+        n,
+        tile,
+        par,
+        load_par: [1u32, 2, 4][rng.gen_range(0usize..3)],
+        metapipe,
+        nested_seq,
+        parallel_loads: rng.gen_bool(0.5),
+        stage1,
+        stage2,
+        reduce,
+    };
+    spec.parallel_loads &= spec.uses_second();
+    spec
+}

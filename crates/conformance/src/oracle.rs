@@ -1,0 +1,421 @@
+//! The differential oracle: layered invariant checks over one design.
+//!
+//! Each generated [`DesignSpec`] is pushed through every toolchain layer
+//! and cross-checked against independent references:
+//!
+//! | invariant            | what it pins                                       |
+//! |----------------------|----------------------------------------------------|
+//! | `build`              | the spec instantiates through `DesignBuilder`      |
+//! | `rebuild-hash`       | rebuilding yields the same `structural_hash`       |
+//! | `serialize-roundtrip`| `to_text`/`from_text` is a stable fixpoint         |
+//! | `sim-vs-reference`   | simulator output == plain-Rust reference, bitwise  |
+//! | `sim-determinism`    | two simulator runs are bit-identical               |
+//! | `estimate-finite`    | estimator cycles/area are finite and sane          |
+//! | `skeleton-recost`    | full elaborate == skeleton + recost netlist        |
+//! | `par-monotonic`      | more parallelism never shrinks raw area / adds time|
+//! | `synth-capacity`     | synthesized resources are sane and bound the model |
+//! | `cache-transparency` | `EstimateCache` hit == miss == uncached, bitwise   |
+//! | `paramspace-legal`   | the sampled parameters are legal in their space    |
+
+use dhdl_core::{serialize, structural_hash, Design};
+use dhdl_dse::{model_fingerprint, CachedModel, CostModel, EstimateCache};
+use dhdl_estimate::{Estimate, Estimator};
+use dhdl_sim::{simulate, Bindings, SimResult};
+use dhdl_synth::{elaborate, elaborate_with, synthesize, Skeleton};
+use dhdl_target::{AreaReport, Platform};
+
+use crate::gen::DesignSpec;
+
+/// Calibration sample count for the shared estimator. Small enough to
+/// keep harness start-up fast, large enough that the hybrid area model
+/// is exercised for real (not a degenerate fit).
+const CALIBRATION_SAMPLES: usize = 40;
+
+/// Calibration seed — fixed and *independent* of the fuzz seed, so the
+/// model under test is identical across fuzzing campaigns.
+const CALIBRATION_SEED: u64 = 7;
+
+/// One invariant violation observed for a design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Stable invariant name (see the module table).
+    pub invariant: &'static str,
+    /// Human-readable detail: what diverged and by how much.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+/// Shared context for conformance checks: the target platform, one
+/// calibrated estimator, and one estimate cache reused across designs
+/// (so cache transparency is checked under realistic shared state).
+pub struct Conformance {
+    platform: Platform,
+    estimator: Estimator,
+    cache: EstimateCache,
+}
+
+impl Default for Conformance {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Conformance {
+    /// Build the shared context (calibrates the estimator once).
+    pub fn new() -> Self {
+        let platform = Platform::maia();
+        let (estimator, _report) =
+            Estimator::calibrate_with(&platform, CALIBRATION_SAMPLES, CALIBRATION_SEED);
+        let cache = EstimateCache::new(model_fingerprint(&estimator));
+        Conformance {
+            platform,
+            estimator,
+            cache,
+        }
+    }
+
+    /// The platform the checks run against.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Run every invariant against one generated design spec.
+    ///
+    /// Returns the full list of violations (empty = conforming). Checks
+    /// are layered: if the design does not even build, later layers are
+    /// skipped rather than reported as cascading noise.
+    pub fn check_design(&self, spec: &DesignSpec) -> Vec<Violation> {
+        let mut v = Vec::new();
+        let design = match spec.build() {
+            Ok(d) => d,
+            Err(e) => {
+                v.push(Violation {
+                    invariant: "build",
+                    detail: format!("builder rejected generated spec: {e}"),
+                });
+                return v;
+            }
+        };
+        self.check_structure(spec, &design, &mut v);
+        self.check_simulation(spec, &design, &mut v);
+        self.check_estimator(spec, &design, &mut v);
+        self.check_synth(&design, &mut v);
+        self.check_cache(&design, &mut v);
+        self.check_params(spec, &mut v);
+        v
+    }
+
+    fn check_structure(&self, spec: &DesignSpec, design: &Design, v: &mut Vec<Violation>) {
+        let h1 = structural_hash(design);
+        match spec.build() {
+            Ok(again) => {
+                let h2 = structural_hash(&again);
+                if h1 != h2 {
+                    v.push(Violation {
+                        invariant: "rebuild-hash",
+                        detail: format!("rebuild changed structural hash: {h1:#x} vs {h2:#x}"),
+                    });
+                }
+            }
+            Err(e) => v.push(Violation {
+                invariant: "rebuild-hash",
+                detail: format!("second build failed: {e}"),
+            }),
+        }
+        let text = serialize::to_text(design);
+        match serialize::from_text(&text) {
+            Ok(parsed) => {
+                let h2 = structural_hash(&parsed);
+                if h1 != h2 {
+                    v.push(Violation {
+                        invariant: "serialize-roundtrip",
+                        detail: format!("round-trip changed structural hash: {h1:#x} vs {h2:#x}"),
+                    });
+                }
+                let text2 = serialize::to_text(&parsed);
+                if text != text2 {
+                    v.push(Violation {
+                        invariant: "serialize-roundtrip",
+                        detail: "to_text(from_text(t)) != t (serialization not a fixpoint)"
+                            .to_string(),
+                    });
+                }
+            }
+            Err(e) => v.push(Violation {
+                invariant: "serialize-roundtrip",
+                detail: format!("from_text failed on serialized design: {e}"),
+            }),
+        }
+    }
+
+    fn check_simulation(&self, spec: &DesignSpec, design: &Design, v: &mut Vec<Violation>) {
+        let (x, y) = spec.inputs();
+        let mut bindings = Bindings::new().bind("x", x.clone());
+        if spec.uses_second() {
+            bindings = bindings.bind("y", y.clone());
+        }
+        let first = match simulate(design, &self.platform, &bindings) {
+            Ok(r) => r,
+            Err(e) => {
+                v.push(Violation {
+                    invariant: "sim-vs-reference",
+                    detail: format!("simulation failed on a legal design: {e}"),
+                });
+                return;
+            }
+        };
+        let expected = spec.reference(&x, &y);
+        compare_bits(&first, &expected, v);
+        if first.cycles <= 0.0 || !first.cycles.is_finite() {
+            v.push(Violation {
+                invariant: "sim-vs-reference",
+                detail: format!("non-positive simulated cycle count: {}", first.cycles),
+            });
+        }
+        match simulate(design, &self.platform, &bindings) {
+            Ok(second) => {
+                let a = first.output("out").ok();
+                let b = second.output("out").ok();
+                let outputs_match = match (a, b) {
+                    (Some(a), Some(b)) => {
+                        a.len() == b.len()
+                            && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+                    }
+                    _ => false,
+                };
+                if !outputs_match || first.cycles.to_bits() != second.cycles.to_bits() {
+                    v.push(Violation {
+                        invariant: "sim-determinism",
+                        detail: "re-running the simulator changed outputs or cycles".to_string(),
+                    });
+                }
+            }
+            Err(e) => v.push(Violation {
+                invariant: "sim-determinism",
+                detail: format!("second simulation failed: {e}"),
+            }),
+        }
+    }
+
+    fn check_estimator(&self, spec: &DesignSpec, design: &Design, v: &mut Vec<Violation>) {
+        let est = self.estimator.estimate(design);
+        if !estimate_is_sane(&est) {
+            v.push(Violation {
+                invariant: "estimate-finite",
+                detail: format!(
+                    "non-finite or negative estimate: cycles={} alms={} regs={} dsps={} brams={}",
+                    est.cycles, est.area.alms, est.area.regs, est.area.dsps, est.area.brams
+                ),
+            });
+        }
+        // Elaborate-once equivalence: costing a pre-built netlist must
+        // be bit-identical to the all-in-one entry point (the DSE hot
+        // path depends on this).
+        let net = self.estimator.elaborate(design);
+        let via_net = self.estimator.estimate_net(design, &net);
+        if !estimates_bit_equal(&est, &via_net) {
+            v.push(Violation {
+                invariant: "skeleton-recost",
+                detail: "estimate(d) != estimate_net(d, elaborate(d)) bitwise".to_string(),
+            });
+        }
+        // Monotonicity in parallelism: serializing the inner pipes
+        // (par=1) must not *increase* raw datapath area, nor can it be
+        // faster than the parallel version under the analytic model.
+        if spec.par > 1 {
+            let mut serial = spec.clone();
+            serial.par = 1;
+            if let Ok(sd) = serial.build() {
+                let wide = self.estimator.raw_area(design);
+                let narrow = self.estimator.raw_area(&sd);
+                // Small absolute slack: control/banking overhead is not
+                // perfectly linear, but duplicated compute dominates.
+                let slack = 1.0 + narrow.alms * 0.01;
+                if wide.alms + slack < narrow.alms || wide.dsps + 0.5 < narrow.dsps {
+                    v.push(Violation {
+                        invariant: "par-monotonic",
+                        detail: format!(
+                            "par={} raw area (alms {:.1}, dsps {:.1}) below par=1 \
+                             (alms {:.1}, dsps {:.1})",
+                            spec.par, wide.alms, wide.dsps, narrow.alms, narrow.dsps
+                        ),
+                    });
+                }
+                let fast = self.estimator.cycles(design);
+                let slow = self.estimator.cycles(&sd);
+                if fast > slow * 1.05 + 16.0 {
+                    v.push(Violation {
+                        invariant: "par-monotonic",
+                        detail: format!(
+                            "par={} estimated {fast:.0} cycles, slower than par=1 ({slow:.0})",
+                            spec.par
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    fn check_synth(&self, design: &Design, v: &mut Vec<Violation>) {
+        let fpga = &self.platform.fpga;
+        let full = elaborate(design, fpga);
+        let skel = Skeleton::of(design);
+        let recost = elaborate_with(design, fpga, &skel);
+        if full != recost {
+            v.push(Violation {
+                invariant: "skeleton-recost",
+                detail: "elaborate(d) != elaborate_with(d, Skeleton::of(d))".to_string(),
+            });
+        }
+        let rep = synthesize(design, fpga);
+        let fields = [
+            ("alms", rep.alms),
+            ("regs", rep.regs),
+            ("dsps", rep.dsps),
+            ("brams", rep.brams),
+        ];
+        for (name, val) in fields {
+            if !val.is_finite() || val < 0.0 {
+                v.push(Violation {
+                    invariant: "synth-capacity",
+                    detail: format!("synthesized {name} is not a sane resource count: {val}"),
+                });
+            }
+        }
+        // Generated designs are small; they must land on the device and
+        // the calibrated model must bound them to the same order of
+        // magnitude as the synthesis ground truth.
+        let area = AreaReport {
+            alms: rep.alms,
+            regs: rep.regs,
+            dsps: rep.dsps,
+            brams: rep.brams,
+        };
+        if !area.fits(fpga) {
+            v.push(Violation {
+                invariant: "synth-capacity",
+                detail: format!(
+                    "small generated design does not fit the target: alms {:.0}/{} dsps \
+                     {:.0}/{} brams {:.0}/{}",
+                    rep.alms, fpga.alms, rep.dsps, fpga.dsps, rep.brams, fpga.brams
+                ),
+            });
+        }
+        let est = self.estimator.area(design);
+        let (bound, abs) = (8.0, 4_000.0);
+        if est.alms > rep.alms * bound + abs || rep.alms > est.alms * bound + abs {
+            v.push(Violation {
+                invariant: "synth-capacity",
+                detail: format!(
+                    "model alms {:.0} and synthesized alms {:.0} disagree beyond {bound}x",
+                    est.alms, rep.alms
+                ),
+            });
+        }
+    }
+
+    fn check_cache(&self, design: &Design, v: &mut Vec<Violation>) {
+        let direct = self.estimator.estimate(design);
+        let cm = CachedModel::new(&self.estimator, &self.cache);
+        // The first call may hit (a structurally identical design was
+        // cached earlier in the campaign) or miss; the second call is a
+        // guaranteed hit. All paths must be bit-identical to uncached.
+        let first = cm.estimate(design);
+        let second = cm.estimate(design);
+        if !estimates_bit_equal(&direct, &first) || !estimates_bit_equal(&direct, &second) {
+            v.push(Violation {
+                invariant: "cache-transparency",
+                detail: format!(
+                    "cached estimate diverged from uncached: direct cycles={}, miss={}, hit={}",
+                    direct.cycles, first.cycles, second.cycles
+                ),
+            });
+        }
+        if self.cache.get(structural_hash(design)).is_none() && estimate_is_sane(&direct) {
+            v.push(Violation {
+                invariant: "cache-transparency",
+                detail: "finite estimate was not retained by the cache".to_string(),
+            });
+        }
+    }
+
+    fn check_params(&self, spec: &DesignSpec, v: &mut Vec<Violation>) {
+        let space = spec.param_space();
+        let values = spec.param_values();
+        if !space.is_legal(&values) {
+            v.push(Violation {
+                invariant: "paramspace-legal",
+                detail: format!("sampled values {values} are illegal in their own space"),
+            });
+        }
+        for def in space.defs() {
+            let Some(val) = values.get(&def.name) else {
+                v.push(Violation {
+                    invariant: "paramspace-legal",
+                    detail: format!("parameter `{}` was never sampled", def.name),
+                });
+                continue;
+            };
+            if !def.kind.legal_values().contains(&val) {
+                v.push(Violation {
+                    invariant: "paramspace-legal",
+                    detail: format!("`{}` = {val} is not among the legal values", def.name),
+                });
+            }
+        }
+    }
+}
+
+fn compare_bits(result: &SimResult, expected: &[f64], v: &mut Vec<Violation>) {
+    let got = match result.output("out") {
+        Ok(g) => g,
+        Err(e) => {
+            v.push(Violation {
+                invariant: "sim-vs-reference",
+                detail: format!("missing `out` array: {e}"),
+            });
+            return;
+        }
+    };
+    if got.len() != expected.len() {
+        v.push(Violation {
+            invariant: "sim-vs-reference",
+            detail: format!("`out` length {} != reference {}", got.len(), expected.len()),
+        });
+        return;
+    }
+    for (i, (g, e)) in got.iter().zip(expected).enumerate() {
+        if g.to_bits() != e.to_bits() {
+            v.push(Violation {
+                invariant: "sim-vs-reference",
+                detail: format!(
+                    "`out`[{i}] = {g} ({:#x}), reference {e} ({:#x})",
+                    g.to_bits(),
+                    e.to_bits()
+                ),
+            });
+            return; // one mismatch pins the case; the rest is noise
+        }
+    }
+}
+
+fn estimate_is_sane(est: &Estimate) -> bool {
+    est.cycles.is_finite()
+        && est.cycles > 0.0
+        && [est.area.alms, est.area.regs, est.area.dsps, est.area.brams]
+            .iter()
+            .all(|x| x.is_finite() && *x >= 0.0)
+}
+
+fn estimates_bit_equal(a: &Estimate, b: &Estimate) -> bool {
+    a.cycles.to_bits() == b.cycles.to_bits()
+        && a.area.alms.to_bits() == b.area.alms.to_bits()
+        && a.area.regs.to_bits() == b.area.regs.to_bits()
+        && a.area.dsps.to_bits() == b.area.dsps.to_bits()
+        && a.area.brams.to_bits() == b.area.brams.to_bits()
+}

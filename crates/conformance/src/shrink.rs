@@ -1,0 +1,210 @@
+//! Greedy structural shrinking of failing fuzz cases.
+//!
+//! The vendored proptest is deterministic but does not shrink, so the
+//! harness shrinks itself: starting from a failing [`DesignSpec`], try a
+//! fixed menu of simplifications (drop the reduction, drop datapath
+//! steps, clear controller flags, lower parallelism, shrink sizes,
+//! collapse the dtype to F32) and keep any candidate that still violates
+//! the *same* invariant. Repeats to a fixpoint with a hard iteration cap
+//! so a pathological oracle cannot loop forever.
+
+use crate::gen::{DesignSpec, MapStep};
+use crate::oracle::Conformance;
+use crate::patgen::{PatRhs, PatternSpec};
+
+/// Upper bound on accepted shrink steps (safety net; real cases converge
+/// in far fewer).
+const MAX_ROUNDS: usize = 64;
+
+fn still_fails(conf: &Conformance, spec: &DesignSpec, invariant: &str) -> bool {
+    conf.check_design(spec)
+        .iter()
+        .any(|v| v.invariant == invariant)
+}
+
+/// Make `spec` self-consistent after a structural edit: parallelism must
+/// divide the (possibly shrunk) tile, the tile must divide `n`, and
+/// parallel loads require a second input.
+fn normalize(spec: &mut DesignSpec) {
+    if spec.n % spec.tile != 0 {
+        spec.tile = 2;
+    }
+    if u64::from(spec.par) > spec.tile || spec.tile % u64::from(spec.par) != 0 {
+        spec.par = 1;
+    }
+    if u64::from(spec.load_par) > spec.tile || spec.tile % u64::from(spec.load_par) != 0 {
+        spec.load_par = 1;
+    }
+    spec.parallel_loads &= spec.uses_second();
+}
+
+/// Candidate one-step simplifications of a design spec, in decreasing
+/// order of how much structure they remove.
+fn candidates(spec: &DesignSpec) -> Vec<DesignSpec> {
+    let mut out = Vec::new();
+    let mut push = |mut s: DesignSpec| {
+        normalize(&mut s);
+        out.push(s);
+    };
+    if spec.reduce.is_some() {
+        let mut s = spec.clone();
+        s.reduce = None;
+        push(s);
+    }
+    if !spec.stage2.is_empty() {
+        let mut s = spec.clone();
+        s.stage2.clear();
+        push(s);
+    }
+    for i in 0..spec.stage1.len() {
+        let mut s = spec.clone();
+        s.stage1.remove(i);
+        push(s);
+    }
+    for i in 0..spec.stage2.len() {
+        let mut s = spec.clone();
+        s.stage2.remove(i);
+        push(s);
+    }
+    // Replace structured steps with the simplest binary step.
+    for (stage_idx, steps) in [&spec.stage1, &spec.stage2].into_iter().enumerate() {
+        for (i, step) in steps.iter().enumerate() {
+            if matches!(step, MapStep::Select { .. } | MapStep::Un { .. }) {
+                let mut s = spec.clone();
+                let stage = if stage_idx == 0 {
+                    &mut s.stage1
+                } else {
+                    &mut s.stage2
+                };
+                stage[i] = MapStep::Bin {
+                    op: dhdl_core::PrimOp::Add,
+                    rhs: crate::gen::Operand::Lit(1.0),
+                };
+                push(s);
+            }
+        }
+    }
+    for flag in 0..3 {
+        let mut s = spec.clone();
+        let changed = match flag {
+            0 => std::mem::take(&mut s.metapipe),
+            1 => std::mem::take(&mut s.nested_seq),
+            _ => std::mem::take(&mut s.parallel_loads),
+        };
+        if changed {
+            push(s);
+        }
+    }
+    if spec.par > 1 {
+        let mut s = spec.clone();
+        s.par = 1;
+        push(s);
+    }
+    if spec.load_par > 1 {
+        let mut s = spec.clone();
+        s.load_par = 1;
+        push(s);
+    }
+    if spec.tile > 2 {
+        for t in [2, spec.tile / 2] {
+            if t >= 2 && t < spec.tile && spec.n % t == 0 {
+                let mut s = spec.clone();
+                s.tile = t;
+                push(s);
+            }
+        }
+    }
+    if spec.n > 64 {
+        for n in [64, spec.n / 2] {
+            if n < spec.n && n % spec.tile == 0 {
+                let mut s = spec.clone();
+                s.n = n;
+                push(s);
+            }
+        }
+    }
+    if spec.ty != dhdl_core::DType::F32 {
+        let mut s = spec.clone();
+        s.ty = dhdl_core::DType::F32;
+        push(s);
+    }
+    out
+}
+
+/// Greedily shrink a failing design spec while preserving the violated
+/// invariant. Returns the smallest spec found (possibly the input).
+pub fn shrink(conf: &Conformance, spec: &DesignSpec, invariant: &str) -> DesignSpec {
+    let mut best = spec.clone();
+    for _ in 0..MAX_ROUNDS {
+        let mut improved = false;
+        for cand in candidates(&best) {
+            if cand != best && still_fails(conf, &cand, invariant) {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    best
+}
+
+fn pattern_still_fails(conf: &Conformance, spec: &PatternSpec, invariant: &str) -> bool {
+    conf.check_pattern(spec)
+        .iter()
+        .any(|v| v.invariant == invariant)
+}
+
+fn pattern_candidates(spec: &PatternSpec) -> Vec<PatternSpec> {
+    let mut out = Vec::new();
+    if spec.reduce.is_some() && !spec.steps.is_empty() {
+        let mut s = spec.clone();
+        s.reduce = None;
+        out.push(s);
+    }
+    let min_steps = usize::from(spec.reduce.is_none());
+    if spec.steps.len() > min_steps {
+        for i in 0..spec.steps.len() {
+            let mut s = spec.clone();
+            s.steps.remove(i);
+            out.push(s);
+        }
+    }
+    if spec.two_inputs {
+        let mut s = spec.clone();
+        s.two_inputs = false;
+        for step in &mut s.steps {
+            if step.rhs == PatRhs::In1 {
+                step.rhs = PatRhs::In0;
+            }
+        }
+        out.push(s);
+    }
+    if spec.len > 64 {
+        let mut s = spec.clone();
+        s.len = 64;
+        out.push(s);
+    }
+    out
+}
+
+/// Greedily shrink a failing pattern spec, preserving the invariant.
+pub fn shrink_pattern(conf: &Conformance, spec: &PatternSpec, invariant: &str) -> PatternSpec {
+    let mut best = spec.clone();
+    for _ in 0..MAX_ROUNDS {
+        let mut improved = false;
+        for cand in pattern_candidates(&best) {
+            if cand != best && pattern_still_fails(conf, &cand, invariant) {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    best
+}

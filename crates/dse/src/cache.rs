@@ -79,14 +79,43 @@ pub enum CacheMode {
 }
 
 impl CacheMode {
-    /// Read the mode from the `DHDL_DSE_CACHE` environment variable:
-    /// `off`, `mem`, or `disk` (the default when unset or unrecognized).
-    pub fn from_env() -> Self {
-        match std::env::var("DHDL_DSE_CACHE").as_deref() {
-            Ok("off") | Ok("0") => CacheMode::Off,
-            Ok("mem") | Ok("memory") => CacheMode::Memory,
-            _ => CacheMode::Disk,
+    /// Parse a mode string: `off`/`0`, `mem`/`memory`, or `disk`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending string for anything else — a typo'd
+    /// `DHDL_DSE_CACHE=dsk` must not silently select a different mode.
+    pub fn parse(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "off" | "0" => Ok(CacheMode::Off),
+            "mem" | "memory" => Ok(CacheMode::Memory),
+            "disk" => Ok(CacheMode::Disk),
+            other => Err(format!(
+                "unrecognized cache mode `{other}` (expected off|mem|disk)"
+            )),
         }
+    }
+
+    /// Read the mode from the `DHDL_DSE_CACHE` environment variable
+    /// (`off`, `mem`, or `disk`; the default when unset is `disk`).
+    /// An unrecognized value falls back to the default with a warning on
+    /// stderr rather than silently masquerading as a valid mode.
+    pub fn from_env() -> Self {
+        match std::env::var("DHDL_DSE_CACHE") {
+            Ok(v) => CacheMode::parse(&v).unwrap_or_else(|e| {
+                eprintln!("warning: DHDL_DSE_CACHE: {e}; using disk");
+                CacheMode::Disk
+            }),
+            Err(_) => CacheMode::Disk,
+        }
+    }
+}
+
+impl std::str::FromStr for CacheMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        CacheMode::parse(s)
     }
 }
 
@@ -692,9 +721,27 @@ mod tests {
     #[test]
     fn cache_mode_parses_env_values() {
         // from_env reads the process environment, which tests must not
-        // mutate (other tests run concurrently); exercise the match arms
-        // via the documented contract instead.
+        // mutate (other tests run concurrently); exercise the parser the
+        // env path delegates to instead.
         assert_eq!(CacheMode::default(), CacheMode::Disk);
+        assert_eq!(CacheMode::parse("off"), Ok(CacheMode::Off));
+        assert_eq!(CacheMode::parse("0"), Ok(CacheMode::Off));
+        assert_eq!(CacheMode::parse("mem"), Ok(CacheMode::Memory));
+        assert_eq!(CacheMode::parse("memory"), Ok(CacheMode::Memory));
+        assert_eq!(CacheMode::parse("disk"), Ok(CacheMode::Disk));
+        assert_eq!("disk".parse::<CacheMode>(), Ok(CacheMode::Disk));
+    }
+
+    #[test]
+    fn cache_mode_rejects_garbage() {
+        for bad in ["", "dsk", "on", "OFF", "Disk", "disk ", "1", "true"] {
+            let r = CacheMode::parse(bad);
+            assert!(r.is_err(), "`{bad}` should be rejected, got {r:?}");
+            assert!(
+                r.unwrap_err().contains("off|mem|disk"),
+                "error should name the valid modes"
+            );
+        }
     }
 
     #[test]

@@ -28,6 +28,13 @@ pub enum SimError {
         /// The memory size.
         size: u64,
     },
+    /// A binding named an off-chip memory that does not exist in the
+    /// design (a typo'd or stale binding would otherwise be silently
+    /// ignored while the memory it meant to feed runs zeroed).
+    UnknownBinding(String),
+    /// A controller's counter chain has zero total iterations (an `end`
+    /// of 0 or a `step` of 0), so its body can never execute.
+    ZeroTripLoop(NodeId),
     /// The graph referenced a value that was never computed.
     Unevaluated(NodeId),
     /// Malformed design reached the simulator (validation should prevent
@@ -51,6 +58,15 @@ impl fmt::Display for SimError {
             ),
             SimError::OutOfBounds { mem, index, size } => {
                 write!(f, "access to {mem} at flattened index {index}, size {size}")
+            }
+            SimError::UnknownBinding(name) => {
+                write!(
+                    f,
+                    "binding `{name}` matches no off-chip memory in the design"
+                )
+            }
+            SimError::ZeroTripLoop(ctrl) => {
+                write!(f, "controller {ctrl} has a zero-trip counter chain")
             }
             SimError::Unevaluated(id) => write!(f, "node {id} used before evaluation"),
             SimError::Malformed(msg) => write!(f, "malformed design: {msg}"),

@@ -32,7 +32,10 @@ const STAGE_OVERHEAD: f64 = 2.0;
 
 /// Input data bound to off-chip memories by name.
 ///
-/// Unbound memories are zero-initialized (typical for outputs).
+/// Unbound memories are zero-initialized (typical for outputs). A
+/// binding whose name matches no off-chip memory is rejected with
+/// [`SimError::UnknownBinding`] — silently ignoring it would leave the
+/// memory it meant to feed zeroed.
 #[derive(Debug, Clone, Default)]
 pub struct Bindings {
     map: BTreeMap<String, Vec<f64>>,
@@ -208,6 +211,15 @@ impl<'a> Sim<'a> {
             };
             offchip.insert(off, data);
         }
+        for name in bindings.map.keys() {
+            let known = design
+                .offchips()
+                .iter()
+                .any(|&off| design.node(off).name.as_deref() == Some(name.as_str()));
+            if !known {
+                return Err(SimError::UnknownBinding(name.clone()));
+            }
+        }
         let mut onchip = BTreeMap::new();
         for (id, node) in design.iter() {
             match &node.kind {
@@ -302,7 +314,18 @@ impl<'a> Sim<'a> {
         timed: bool,
         conc: f64,
     ) -> Result<f64> {
-        let total = ctr.total_iters().max(1);
+        // An empty (unit) chain means "run once"; a chain with real
+        // dimensions whose product is zero can never execute its body.
+        let total = ctr.total_iters();
+        if total == 0 {
+            return Err(SimError::ZeroTripLoop(ctrl));
+        }
+        let n_stages = stages.len() + usize::from(fold.is_some());
+        if n_stages == 0 {
+            return Err(SimError::Malformed(format!(
+                "outer controller {ctrl} has no stages"
+            )));
+        }
         let par = u64::from(par.max(1));
         let waves = total.div_ceil(par);
         // Fold accumulators start each controller execution at the
@@ -315,7 +338,6 @@ impl<'a> Sim<'a> {
                 }
             }
         }
-        let n_stages = stages.len() + usize::from(fold.is_some());
         // Pipeline recurrence state: finish time of each stage in the
         // previous wave (for Sequential, stages within a wave serialize and
         // waves serialize).
@@ -405,6 +427,9 @@ impl<'a> Sim<'a> {
     /// bubbles).
     fn run_pipe(&mut self, ctrl: NodeId, p: &PipeSpec) -> Result<f64> {
         let total = p.ctr.total_iters();
+        if total == 0 {
+            return Err(SimError::ZeroTripLoop(ctrl));
+        }
         // A reduce pipe computes the reduction of its own iteration range:
         // the accumulator starts at the identity each execution.
         if let Some(r) = &p.reduce {
@@ -481,6 +506,11 @@ impl<'a> Sim<'a> {
             NodeKind::Const(v) => *v,
             NodeKind::Iter { .. } => self.vals[n.index()],
             NodeKind::Prim { op, inputs } => {
+                if inputs.is_empty() {
+                    return Err(SimError::Malformed(format!(
+                        "primitive {op:?} at {n} has no operands"
+                    )));
+                }
                 let a = self.operand(inputs[0])?;
                 let b = if inputs.len() > 1 {
                     self.operand(inputs[1])?
@@ -512,10 +542,13 @@ impl<'a> Sim<'a> {
                         if q.is_empty() {
                             0.0
                         } else {
+                            // total_cmp so a NaN pushed into the queue
+                            // (e.g. from a 0/0 upstream) sorts last
+                            // instead of panicking the comparator.
                             let (mi, _) = q
                                 .iter()
                                 .enumerate()
-                                .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN in queue"))
+                                .min_by(|a, b| a.1.total_cmp(b.1))
                                 .expect("nonempty");
                             q.remove(mi)
                         }
@@ -573,6 +606,13 @@ impl<'a> Sim<'a> {
             NodeKind::Reg(_) | NodeKind::PriorityQueue(_) => return Ok(0),
             _ => return Err(SimError::Malformed(format!("access to non-memory {mem}"))),
         };
+        if addr.len() != dims.len() {
+            return Err(SimError::Malformed(format!(
+                "access to {mem}: address rank {} != memory rank {}",
+                addr.len(),
+                dims.len()
+            )));
+        }
         let mut idx: i64 = 0;
         for (d, &a) in addr.iter().enumerate() {
             let v = self.operand(a)? as i64;
@@ -624,6 +664,15 @@ impl<'a> Sim<'a> {
         let NodeKind::OffChip { dims } = self.design.kind(t.offchip).clone() else {
             return Err(SimError::Malformed("tile target is not off-chip".into()));
         };
+        if t.tile.len() != dims.len() || t.offsets.len() != dims.len() {
+            return Err(SimError::Malformed(format!(
+                "tile transfer on {}: tile rank {} / offset rank {} != memory rank {}",
+                t.offchip,
+                t.tile.len(),
+                t.offsets.len(),
+                dims.len()
+            )));
+        }
         // Resolve offsets.
         let mut offsets = Vec::with_capacity(t.offsets.len());
         for &o in &t.offsets {

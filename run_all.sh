@@ -18,6 +18,19 @@ export DHDL_DSE_CHECKPOINT="${DHDL_DSE_CHECKPOINT:-1}"
 export DHDL_DSE_CACHE="${DHDL_DSE_CACHE:-disk}"
 
 cargo build --release --workspace
+
+# Differential-conformance gate: fuzz randomly generated DHDL designs
+# through the sim/estimator/synth/CPU oracle stack before trusting the
+# toolchain to regenerate results. Deterministic for the fixed seed;
+# shrunk counterexamples (if any) land in tests/corpus/ for replay.
+# Set DHDL_FUZZ_DESIGNS=0 to skip.
+DHDL_FUZZ_DESIGNS="${DHDL_FUZZ_DESIGNS:-500}"
+if [ "$DHDL_FUZZ_DESIGNS" -gt 0 ]; then
+  echo "=== conformance fuzz ($DHDL_FUZZ_DESIGNS designs) ==="
+  cargo run -q -p dhdl-conformance --bin dhdl-fuzz --release -- \
+    --designs "$DHDL_FUZZ_DESIGNS" --seed 0
+fi
+
 for b in table2 table3 table4 fig5 fig6 energy ablations; do
   echo "=== $b ==="
   cargo run -q -p dhdl-bench --bin "$b" --release

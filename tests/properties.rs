@@ -196,3 +196,40 @@ proptest! {
         }
     }
 }
+
+/// Explicit replay of the shrunk counterexample recorded in
+/// `tests/properties.proptest-regressions` for
+/// `pattern_lowering_matches_interpreter`. The vendored proptest is
+/// deterministic but does not read persistence files, so the historical
+/// case is pinned here verbatim and CI replays it on every run.
+#[test]
+fn proptest_regression_pattern_lowering_shrunk_case() {
+    use dhdl_patterns::{default_params, lower, Expr, PatternProgram};
+    let mut data = [0.0f64; 16];
+    data[15] = 18.302715350366025;
+    let a = 2.835354037042272f64;
+    let c = 0.0f64;
+    let n = data.len() as u64;
+    let mut p = PatternProgram::new();
+    let x = p.input("x", n, DType::F32);
+    p.map(
+        "out",
+        &[x],
+        Expr::add(Expr::mul(Expr::lit(a), Expr::input(0)), Expr::lit(c)),
+    );
+    let mut inputs = std::collections::BTreeMap::new();
+    let data32: Vec<f64> = data.iter().map(|&v| v as f32 as f64).collect();
+    inputs.insert("x".to_string(), data32.clone());
+    let expected = p.interpret(&inputs);
+    let design = lower(&p, "prop_pat_regress", &default_params(&p)).expect("lowers");
+    let r = simulate(
+        &design,
+        &Platform::maia(),
+        &Bindings::new().bind("x", data32),
+    )
+    .expect("simulates");
+    let got = r.output("out").expect("out");
+    for (g, e) in got.iter().zip(&expected["out"]) {
+        assert!((g - e).abs() < 1e-6, "{g} vs {e}");
+    }
+}
