@@ -1,0 +1,52 @@
+//! Observation overhead: the dhdl-obs acceptance criterion is that the
+//! disabled instrumentation costs under 2% on the estimate-net hot path
+//! (one relaxed atomic load and a branch per primitive). This bench
+//! measures that path with recording off and with full recording on,
+//! plus the raw cost of the disabled primitives themselves.
+//!
+//! Compare `estimate_net/obs_off` against `estimate_net/obs_on`; the
+//! `obs_off` number is the one sweeps pay by default.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dhdl_apps::{Benchmark, Gda};
+use dhdl_estimate::Estimator;
+use dhdl_target::Platform;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let platform = Platform::maia();
+    let (estimator, _) = Estimator::calibrate_with(&platform, 60, 7);
+    let gda = Gda::default();
+    let design = gda.build(&gda.default_params()).unwrap();
+    let net = estimator.elaborate(&design);
+
+    // The hot path with observation off (the default): every span,
+    // counter and histogram inside degenerates to a load + branch.
+    dhdl_obs::init(dhdl_obs::Mode::Off);
+    c.bench_function("estimate_net/obs_off", |b| {
+        b.iter(|| std::hint::black_box(estimator.estimate_net(&design, &net)))
+    });
+
+    // The same path with full recording: spans read the clock twice and
+    // push events, histograms bucket latencies. This is the cost a user
+    // opts into with DHDL_OBS=chrome.
+    dhdl_obs::init(dhdl_obs::Mode::Chrome);
+    c.bench_function("estimate_net/obs_on", |b| {
+        b.iter(|| std::hint::black_box(estimator.estimate_net(&design, &net)))
+    });
+    dhdl_obs::init(dhdl_obs::Mode::Off);
+
+    // Raw primitive costs while disabled, for the overhead arithmetic:
+    // estimate_net executes a handful of these per call.
+    c.bench_function("disabled_span", |b| {
+        b.iter(|| std::hint::black_box(dhdl_obs::span!("bench.noop")))
+    });
+    c.bench_function("disabled_counter", |b| {
+        b.iter(|| dhdl_obs::counter!("bench.noop").incr())
+    });
+    c.bench_function("disabled_histogram_timer", |b| {
+        b.iter(|| std::hint::black_box(dhdl_obs::histogram!("bench.noop_ns").timer()))
+    });
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

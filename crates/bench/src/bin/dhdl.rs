@@ -18,6 +18,7 @@ use dhdl_core::ParamValues;
 use dhdl_synth::{maxj, synthesize};
 
 fn main() {
+    dhdl_obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().map(String::as_str) else {
         usage();
@@ -54,6 +55,7 @@ fn main() {
             std::process::exit(2);
         }
     }
+    dhdl_obs::finish("dhdl");
 }
 
 fn usage() {

@@ -83,6 +83,7 @@ fn write_bench_json(per_bench: &[(String, SweepStats)], speedup_vs_previous: Opt
 }
 
 fn main() {
+    dhdl_obs::init_from_env();
     // The paper samples up to 75,000 legal points per benchmark; default
     // lower here for quick runs (set DHDL_FIG5_POINTS=75000 to match).
     let points = env_usize("DHDL_FIG5_POINTS", 3_000);
@@ -243,4 +244,5 @@ fn main() {
         println!("estimation wall-clock vs previous fig5 run: {x:.2}x");
     }
     write_bench_json(&per_bench, speedup);
+    dhdl_obs::finish("fig5");
 }

@@ -10,6 +10,7 @@ use dhdl_bench::report::{write_result, Table};
 use dhdl_bench::Harness;
 
 fn main() {
+    dhdl_obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (Some(name), Some(param)) = (args.first(), args.get(1)) else {
         eprintln!("usage: sweep <benchmark> <param>");
@@ -90,4 +91,5 @@ fn main() {
         &t.to_csv(),
     );
     println!("wrote {}", path.display());
+    dhdl_obs::finish("sweep");
 }

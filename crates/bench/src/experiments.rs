@@ -139,6 +139,7 @@ impl Harness {
     /// resumes from there on the next run, and a completed sweep cleans
     /// its checkpoint up.
     pub fn explore(&self, bench: &dyn Benchmark) -> DseResult {
+        let _span = dhdl_obs::span_labeled("sweep", bench.name());
         let mut opts = self.dse.clone();
         if self.cache.is_some() {
             // Enable the parameter-keyed fast path: warm sweeps answer

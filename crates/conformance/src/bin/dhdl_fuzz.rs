@@ -87,13 +87,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    dhdl_obs::init_from_env();
     let start = Instant::now();
     eprintln!("dhdl-fuzz: calibrating estimator...");
     let conf = Conformance::new();
     eprintln!("dhdl-fuzz: ready in {:.1}s", start.elapsed().as_secs_f64());
 
     if let Some(dir) = &args.replay {
-        return replay(&conf, dir);
+        let code = replay(&conf, dir);
+        dhdl_obs::finish("dhdl-fuzz");
+        return code;
     }
     if let Some(dir) = &args.emit_corpus {
         return emit_corpus(&conf, dir, args.seed);
@@ -180,6 +183,7 @@ fn main() -> ExitCode {
     println!("benchmarks: {benches_run} checked");
     println!("violations: {total_violations}");
     eprintln!("dhdl-fuzz: done in {:.1}s", start.elapsed().as_secs_f64());
+    dhdl_obs::finish("dhdl-fuzz");
     if total_violations == 0 {
         ExitCode::SUCCESS
     } else {

@@ -12,7 +12,7 @@
 //! quantization semantics, giving the oracle an independent functional
 //! reference for every generated design — not just the hand benchmarks.
 //! Specs serialize to a one-line text form (corpus persistence) and
-//! shrink structurally (see [`crate::shrink`]).
+//! shrink structurally (see [`crate::shrink()`]).
 
 use dhdl_core::{
     by, DType, Design, DesignBuilder, NodeId, ParamKind, ParamSpace, ParamValues, PrimOp, ReduceOp,

@@ -228,7 +228,8 @@ impl EstimateCache {
     }
 
     /// Look up the estimate for structural-hash `key`, counting the hit
-    /// or miss.
+    /// or miss. (In observation output the structural map is `cache.l2`;
+    /// the parameter memo in front of it is `cache.l1`.)
     pub fn get(&self, key: u64) -> Option<Estimate> {
         let found = self
             .shard(key)
@@ -238,8 +239,10 @@ impl EstimateCache {
             .copied();
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            dhdl_obs::counter!("cache.l2.hit").incr();
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            dhdl_obs::counter!("cache.l2.miss").incr();
         }
         found
     }
@@ -256,17 +259,26 @@ impl EstimateCache {
             .unwrap_or_else(|e| e.into_inner())
             .insert(key, est);
         self.inserts.fetch_add(1, Ordering::Relaxed);
+        dhdl_obs::counter!("cache.l2.insert").incr();
     }
 
     /// Look up the structural hash that parameter key `key` builds to.
-    /// Counter-free: the resolving [`EstimateCache::get`] on the returned
-    /// hash records the hit or miss, so a fast-path lookup counts once.
+    /// [`CacheStats`]-counter-free: the resolving [`EstimateCache::get`]
+    /// on the returned hash records the hit or miss, so a fast-path
+    /// lookup counts once. (Observation counters `cache.l1.*` do track
+    /// this memo level separately.)
     pub fn get_params(&self, key: u64) -> Option<u64> {
-        self.params[(key as usize) & (SHARDS - 1)]
+        let found = self.params[(key as usize) & (SHARDS - 1)]
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .get(&key)
-            .copied()
+            .copied();
+        if found.is_some() {
+            dhdl_obs::counter!("cache.l1.hit").incr();
+        } else {
+            dhdl_obs::counter!("cache.l1.miss").incr();
+        }
+        found
     }
 
     /// Record that parameter key `key` builds a design with structural
@@ -274,6 +286,7 @@ impl EstimateCache {
     /// was accepted by [`EstimateCache::insert`] (finite), so the memo
     /// never points at a value the structural map would refuse to hold.
     pub fn insert_params(&self, key: u64, structural: u64) {
+        dhdl_obs::counter!("cache.l1.insert").incr();
         self.params[(key as usize) & (SHARDS - 1)]
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -321,6 +334,8 @@ impl EstimateCache {
     /// any line is malformed (a corrupt cache costs warm-up time, never
     /// correctness).
     pub fn load(dir: &Path, fingerprint: u64) -> Self {
+        let _span = dhdl_obs::span!("cache.load");
+        let _t = dhdl_obs::histogram!("cache.disk.load_ns").timer();
         let cache = EstimateCache::new(fingerprint);
         let Ok(text) = std::fs::read_to_string(Self::path_in(dir, fingerprint)) else {
             return cache;
@@ -361,6 +376,8 @@ impl EstimateCache {
     ///
     /// Returns any I/O error from creating, writing or renaming the file.
     pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        let _span = dhdl_obs::span!("cache.flush");
+        let _t = dhdl_obs::histogram!("cache.disk.store_ns").timer();
         std::fs::create_dir_all(dir)?;
         let mut entries: Vec<(u64, Estimate)> = Vec::with_capacity(self.len());
         for shard in &self.shards {

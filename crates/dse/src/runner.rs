@@ -209,13 +209,30 @@ impl OutcomeCounts {
                 self.evaluated += 1;
                 if *attempts > 1 {
                     self.recovered += 1;
+                    dhdl_obs::counter!("dse.points.recovered").incr();
                 }
+                dhdl_obs::counter!("dse.points.evaluated").incr();
             }
-            PointOutcome::Discarded(DseError::Build(_)) => self.build_failed += 1,
-            PointOutcome::Discarded(DseError::MemCap { .. }) => self.mem_cap += 1,
-            PointOutcome::Discarded(DseError::Panic { .. })
-            | PointOutcome::Discarded(DseError::NonFinite { .. }) => self.eval_failed += 1,
-            PointOutcome::Skipped => self.skipped += 1,
+            PointOutcome::Discarded(DseError::Build(_)) => {
+                self.build_failed += 1;
+                dhdl_obs::counter!("dse.points.build_failed").incr();
+            }
+            PointOutcome::Discarded(DseError::MemCap { .. }) => {
+                self.mem_cap += 1;
+                dhdl_obs::counter!("dse.points.mem_cap").incr();
+            }
+            PointOutcome::Discarded(DseError::Panic { .. }) => {
+                self.eval_failed += 1;
+                dhdl_obs::counter!("dse.points.panicked").incr();
+            }
+            PointOutcome::Discarded(DseError::NonFinite { .. }) => {
+                self.eval_failed += 1;
+                dhdl_obs::counter!("dse.points.non_finite").incr();
+            }
+            PointOutcome::Skipped => {
+                self.skipped += 1;
+                dhdl_obs::counter!("dse.points.deadline_skipped").incr();
+            }
         }
     }
 
@@ -327,6 +344,7 @@ where
     F: Fn(&ParamValues) -> dhdl_core::Result<Design> + Sync,
     E: CostModel + ?Sized,
 {
+    let _span = dhdl_obs::span_arg("dse.evaluate", "points", samples.len() as u64);
     let start = Instant::now();
     let cache_before = estimator.cache_stats();
     let n = samples.len();
@@ -337,9 +355,14 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 s.spawn(|| {
+                    // The worker span covers claim-to-exit wall-clock; the
+                    // per-point eval histogram is the busy portion, so
+                    // idle = worker span − Σ eval_ns.
+                    let _wspan = dhdl_obs::span!("dse.worker");
                     let mut local = Vec::new();
                     loop {
                         if deadline.is_some_and(|d| Instant::now() >= d) {
+                            dhdl_obs::counter!("dse.worker.deadline_stop").incr();
                             break;
                         }
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -347,10 +370,14 @@ where
                             break;
                         }
                         if let Some(prev) = done.as_ref().and_then(|d| d.get(&i)) {
+                            dhdl_obs::counter!("dse.points.checkpoint_reuse").incr();
                             local.push((i, prev.clone()));
                             continue;
                         }
-                        let outcome = evaluate_one(build, estimator, &samples[i], opts);
+                        let outcome = {
+                            let _t = dhdl_obs::histogram!("dse.point.eval_ns").timer();
+                            evaluate_one(build, estimator, &samples[i], opts)
+                        };
                         if let Some(ckpt) = checkpoint {
                             ckpt.append(i, &outcome);
                         }
@@ -470,6 +497,7 @@ where
                 if attempts >= max_attempts {
                     return PointOutcome::Discarded(DseError::NonFinite { attempts });
                 }
+                dhdl_obs::counter!("dse.retries.non_finite").incr();
             }
             Err(payload) => {
                 if attempts >= max_attempts {
@@ -478,6 +506,7 @@ where
                         message: panic_message(payload.as_ref()),
                     });
                 }
+                dhdl_obs::counter!("dse.retries.panic").incr();
             }
         }
     }

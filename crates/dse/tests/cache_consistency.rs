@@ -271,6 +271,45 @@ fn warm_sweep_skips_design_construction_entirely() {
 }
 
 #[test]
+fn observation_never_perturbs_sweep_results() {
+    let est = estimator();
+    // Reference sweep with recording off (the default).
+    dhdl_obs::init(dhdl_obs::Mode::Off);
+    let off = explore(build_dot, &space(), est, &opts(48, 4));
+
+    // Same sweep with full recording on — spans, counters and histograms
+    // fire on every hot path (elaborate, estimate_net, the runner, the
+    // cache) — and through the cached model so the cache counters fire
+    // too. Results must be byte-identical either way.
+    dhdl_obs::init(dhdl_obs::Mode::Chrome);
+    let on = explore(build_dot, &space(), est, &opts(48, 4));
+    let cache = EstimateCache::new(model_fingerprint(est));
+    let model = CachedModel::new(est, &cache);
+    let on_cached = explore(build_dot, &space(), &model, &opts(48, 4));
+    dhdl_obs::init(dhdl_obs::Mode::Off);
+
+    assert_eq!(on, off, "observation changed sweep results");
+    assert_eq!(on_cached, off, "observation changed cached sweep results");
+    assert_eq!(front_bits(&on), front_bits(&off));
+    assert_eq!(front_bits(&on_cached), front_bits(&off));
+
+    // And the observed sweeps actually recorded something.
+    let report = dhdl_obs::recorder().snapshot();
+    assert!(
+        report.spans.iter().any(|s| s.name == "dse.evaluate"),
+        "no dse.evaluate span recorded"
+    );
+    assert!(
+        report.spans.iter().any(|s| s.name == "estimate_net"),
+        "no estimate_net span recorded"
+    );
+    assert!(
+        report.counters.get("cache.l2.miss").copied().unwrap_or(0) > 0,
+        "cached sweep recorded no cache counters"
+    );
+}
+
+#[test]
 fn model_fingerprint_separates_models_and_targets() {
     let a = Estimator::calibrate_with(&Platform::maia(), 20, 1).0;
     let b = Estimator::calibrate_with(&Platform::maia(), 20, 2).0;

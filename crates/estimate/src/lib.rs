@@ -14,6 +14,12 @@
 //! * [`calibrate`] — one-time training against the synthesis model on
 //!   random design samples (application-independent).
 //!
+//! [`Estimator::estimate`] elaborates a design exactly once and feeds
+//! the one netlist to both the latency and area paths; the `_net` entry
+//! points ([`Estimator::estimate_net`], [`Estimator::raw_area_net`])
+//! accept a pre-built netlist for callers — the DSE hot path — that
+//! already hold one.
+//!
 //! ```no_run
 //! use dhdl_estimate::Estimator;
 //! use dhdl_target::Platform;
@@ -93,6 +99,7 @@ impl Estimator {
         samples: usize,
         seed: u64,
     ) -> (Self, CalibrationReport) {
+        let _span = dhdl_obs::span!("calibrate", samples);
         let (area, report) = calibrate(&platform.fpga, samples, seed);
         (
             Estimator {
@@ -141,10 +148,16 @@ impl Estimator {
     /// [`Estimator::estimate`] on an already-elaborated netlist of the
     /// same design. No further elaboration happens.
     pub fn estimate_net(&self, design: &Design, net: &Netlist) -> Estimate {
-        Estimate {
-            cycles: estimate_cycles_net(design, &self.platform, net),
-            area: self.area.estimate_net(net),
-        }
+        let _span = dhdl_obs::span!("estimate_net");
+        let cycles = {
+            let _t = dhdl_obs::histogram!("estimate.latency_ns").timer();
+            estimate_cycles_net(design, &self.platform, net)
+        };
+        let area = {
+            let _t = dhdl_obs::histogram!("estimate.area_ns").timer();
+            self.area.estimate_net(net)
+        };
+        Estimate { cycles, area }
     }
 
     /// Estimate only the area of a design instance.

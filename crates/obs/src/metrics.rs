@@ -1,0 +1,199 @@
+//! Counters and histograms: the aggregate (non-event) metric primitives.
+//!
+//! Both hand out `Copy` handles wrapping `&'static` atomics, so the
+//! recording fast path is a relaxed `fetch_add` behind the global
+//! enabled check — no locks, no allocation. Registration (first use of a
+//! name) takes the registry lock once; the [`crate::counter!`] and
+//! [`crate::histogram!`] macros cache the handle at the call site so
+//! steady-state use never touches the registry again.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A named monotonic counter. Cheap to copy; obtain via
+/// [`crate::counter!`] (call-site cached) or [`crate::counter()`].
+#[derive(Debug, Clone, Copy)]
+pub struct Counter(pub(crate) &'static AtomicU64);
+
+impl Counter {
+    /// Add `n` to the counter (no-op while observation is disabled).
+    #[inline]
+    pub fn add(self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add 1 to the counter (no-op while observation is disabled).
+    #[inline]
+    pub fn incr(self) {
+        self.add(1);
+    }
+
+    /// The current counter value.
+    pub fn get(self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ value buckets a histogram tracks: bucket `i` counts
+/// values `v` with `bit_width(v) == i`, so bucket 0 is exactly 0, bucket
+/// 1 is 1, bucket 11 is 1024–2047 ns, and so on up to `u64::MAX`.
+pub(crate) const HIST_BUCKETS: usize = 65;
+
+/// The shared storage behind a [`Histogram`] handle.
+#[derive(Debug)]
+pub(crate) struct HistCore {
+    pub(crate) buckets: [AtomicU64; HIST_BUCKETS],
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+    pub(crate) min: AtomicU64,
+    pub(crate) max: AtomicU64,
+}
+
+impl HistCore {
+    pub(crate) fn new() -> Self {
+        HistCore {
+            buckets: [0u64; HIST_BUCKETS].map(AtomicU64::new),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A named log₂-bucketed histogram, conventionally of nanosecond
+/// durations (suffix the name `_ns`). Cheap to copy; obtain via
+/// [`crate::histogram!`] (call-site cached) or [`crate::histogram()`].
+#[derive(Debug, Clone, Copy)]
+pub struct Histogram(pub(crate) &'static HistCore);
+
+impl Histogram {
+    /// Record one value (no-op while observation is disabled).
+    #[inline]
+    pub fn record(self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        let h = self.0;
+        let bucket = (u64::BITS - value.leading_zeros()) as usize;
+        h.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(value, Ordering::Relaxed);
+        h.min.fetch_min(value, Ordering::Relaxed);
+        h.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Start a guard that records the elapsed nanoseconds into this
+    /// histogram when dropped. While observation is disabled the guard
+    /// is inert and no clock is read.
+    #[inline]
+    pub fn timer(self) -> Timer {
+        Timer {
+            hist: self,
+            start: crate::enabled().then(Instant::now),
+        }
+    }
+
+    /// Snapshot the current aggregate state.
+    pub fn snapshot(self) -> HistSnapshot {
+        let h = self.0;
+        let count = h.count.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = h
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistSnapshot {
+            count,
+            sum: h.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                h.min.load(Ordering::Relaxed)
+            },
+            max: h.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    pub(crate) fn reset(self) {
+        let h = self.0;
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        h.count.store(0, Ordering::Relaxed);
+        h.sum.store(0, Ordering::Relaxed);
+        h.min.store(u64::MAX, Ordering::Relaxed);
+        h.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII guard from [`Histogram::timer`]: records elapsed nanoseconds on
+/// drop (saturating to `u64::MAX`, which a 584-year span would need).
+#[derive(Debug)]
+pub struct Timer {
+    hist: Histogram,
+    start: Option<Instant>,
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.hist.record(ns);
+        }
+    }
+}
+
+/// A point-in-time aggregate view of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Per-log₂-bucket counts (see [`Histogram`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket containing the `q`-th ranked value. Log₂ buckets make this
+    /// accurate to within 2×, which is plenty for a latency summary.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper bound of bucket i is 2^i - 1 (bucket 0 holds 0,
+                // the last bucket tops out at u64::MAX).
+                let upper = match i {
+                    0 => 0,
+                    64.. => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+}

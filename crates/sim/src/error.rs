@@ -42,6 +42,23 @@ pub enum SimError {
     Malformed(String),
 }
 
+impl SimError {
+    /// A short stable identifier for the error variant, independent of
+    /// the variant's payload — the key used for per-error-path
+    /// observation counters (`sim.errors.<kind>`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::MissingBinding(_) => "missing_binding",
+            SimError::ShapeMismatch { .. } => "shape_mismatch",
+            SimError::OutOfBounds { .. } => "out_of_bounds",
+            SimError::UnknownBinding(_) => "unknown_binding",
+            SimError::ZeroTripLoop(_) => "zero_trip_loop",
+            SimError::Unevaluated(_) => "unevaluated",
+            SimError::Malformed(_) => "malformed",
+        }
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -135,6 +135,37 @@ impl SimResult {
 /// Returns a [`SimError`] for shape mismatches, out-of-bounds accesses, or
 /// structurally unsupported graphs.
 pub fn simulate(design: &Design, platform: &Platform, bindings: &Bindings) -> Result<SimResult> {
+    let _span = dhdl_obs::span!("simulate");
+    let result = simulate_inner(design, platform, bindings);
+    match &result {
+        Ok(r) => {
+            dhdl_obs::counter!("sim.runs").incr();
+            dhdl_obs::counter!("sim.cycles").add(r.cycles as u64);
+        }
+        Err(e) => {
+            dhdl_obs::counter!("sim.errors").incr();
+            dhdl_obs::counter(error_counter(e)).incr();
+        }
+    }
+    result
+}
+
+/// The full static counter name for an error path; a match (rather than
+/// formatting from [`SimError::kind`]) because counters need `'static`
+/// names.
+fn error_counter(e: &SimError) -> &'static str {
+    match e.kind() {
+        "missing_binding" => "sim.errors.missing_binding",
+        "shape_mismatch" => "sim.errors.shape_mismatch",
+        "out_of_bounds" => "sim.errors.out_of_bounds",
+        "unknown_binding" => "sim.errors.unknown_binding",
+        "zero_trip_loop" => "sim.errors.zero_trip_loop",
+        "unevaluated" => "sim.errors.unevaluated",
+        _ => "sim.errors.malformed",
+    }
+}
+
+fn simulate_inner(design: &Design, platform: &Platform, bindings: &Bindings) -> Result<SimResult> {
     let mut sim = Sim::new(design, platform, bindings)?;
     let cycles = sim.run(design.top(), 0.0, true, 1.0)?;
     let mut offchip = BTreeMap::new();

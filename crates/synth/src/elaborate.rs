@@ -29,6 +29,7 @@
 //! re-schedule the same bodies.
 
 use std::cell::RefCell;
+use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
@@ -130,9 +131,18 @@ pub fn elaborate(design: &Design, target: &FpgaTarget) -> Netlist {
         if map.len() >= 256 {
             map.clear();
         }
-        map.entry(shape)
-            .or_insert_with(|| Rc::new(Skeleton::with_shape(design, shape)))
-            .clone()
+        match map.entry(shape) {
+            Entry::Occupied(e) => {
+                dhdl_obs::counter!("synth.skeleton.reuse").incr();
+                e.get().clone()
+            }
+            Entry::Vacant(e) => {
+                dhdl_obs::counter!("synth.skeleton.build").incr();
+                let _t = dhdl_obs::histogram!("synth.skeleton.build_ns").timer();
+                e.insert(Rc::new(Skeleton::with_shape(design, shape)))
+                    .clone()
+            }
+        }
     });
     elaborate_with(design, target, &skel)
 }
@@ -148,6 +158,8 @@ pub fn elaborate_with(design: &Design, target: &FpgaTarget, skel: &Skeleton) -> 
         shape_hash(design),
         "skeleton/design structure mismatch"
     );
+    let _span = dhdl_obs::span_arg("elaborate", "shape", skel.shape);
+    let _t = dhdl_obs::histogram!("synth.recost_ns").timer();
     let mut acc = Acc::default();
     visit_plan(design, target, &skel.root, 1.0, &mut acc);
     let stats = DesignStats::of(design);

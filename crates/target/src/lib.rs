@@ -22,7 +22,7 @@
 //! assert_eq!(p.cycles_to_seconds(150e6), 1.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod dram;
 mod fpga;

@@ -17,6 +17,13 @@ export DHDL_DSE_CHECKPOINT="${DHDL_DSE_CHECKPOINT:-1}"
 # delete results/cache/ to force cold re-estimation.
 export DHDL_DSE_CACHE="${DHDL_DSE_CACHE:-disk}"
 
+# Observability: DHDL_OBS=summary prints a span/counter table per binary,
+# =json writes results/obs/<bin>.obs.json, =chrome writes
+# results/obs/<bin>.trace.json (load in chrome://tracing or Perfetto).
+# Off by default; recording never changes any result (sweeps are
+# byte-identical either way).
+export DHDL_OBS="${DHDL_OBS:-off}"
+
 cargo build --release --workspace
 
 # Differential-conformance gate: fuzz randomly generated DHDL designs

@@ -4,7 +4,7 @@ use std::ops::Range;
 
 use crate::{Strategy, TestRng};
 
-/// Sizes accepted by [`vec`]: an exact length or a half-open range.
+/// Sizes accepted by [`vec()`]: an exact length or a half-open range.
 pub trait SizeRange {
     /// Draw a length.
     fn pick(&self, rng: &mut TestRng) -> usize;
@@ -23,7 +23,7 @@ impl SizeRange for Range<usize> {
     }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S, L> {
     element: S,
