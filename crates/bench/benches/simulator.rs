@@ -1,8 +1,13 @@
 //! Simulator throughput (the execution substrate's cost per benchmark run).
+//!
+//! Two groups: `simulate` measures the reference interpreter, `sim_tape`
+//! measures the tape-compiled backend with compilation amortized (compile
+//! once, run per iteration — the DSE/fuzzing usage pattern). The gap
+//! between the groups is the compiled backend's speedup.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dhdl_apps::{Benchmark, DotProduct, Gda};
-use dhdl_sim::{simulate, Bindings};
+use dhdl_sim::{compile, simulate, Bindings};
 use dhdl_target::Platform;
 
 fn bindings_for(bench: &dyn Benchmark) -> Bindings {
@@ -34,5 +39,36 @@ fn bench_sim(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sim);
+fn bench_tape(c: &mut Criterion) {
+    let platform = Platform::maia();
+    let mut group = c.benchmark_group("sim_tape");
+    group.sample_size(20);
+
+    let dot = DotProduct::new(9_600);
+    let dot_design = dot.build(&dot.default_params()).unwrap();
+    let dot_bind = bindings_for(&dot);
+    let dot_compiled = compile(&dot_design, &platform).expect("dotproduct compiles");
+    group.bench_function("dotproduct_9600", |b| {
+        b.iter(|| std::hint::black_box(dot_compiled.run(&dot_bind).unwrap()))
+    });
+
+    let gda = Gda::new(384, 16);
+    let gda_design = gda.build(&gda.default_params()).unwrap();
+    let gda_bind = bindings_for(&gda);
+    let gda_compiled = compile(&gda_design, &platform).expect("gda compiles");
+    group.bench_function("gda_384x16", |b| {
+        b.iter(|| std::hint::black_box(gda_compiled.run(&gda_bind).unwrap()))
+    });
+
+    // Cold path: compile + single run, the one-shot CLI usage pattern.
+    group.bench_function("dotproduct_9600_cold", |b| {
+        b.iter(|| {
+            let compiled = compile(&dot_design, &platform).unwrap();
+            std::hint::black_box(compiled.run(&dot_bind).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim, bench_tape);
 criterion_main!(benches);

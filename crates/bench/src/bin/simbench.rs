@@ -1,0 +1,118 @@
+//! Simulator backend throughput: interpreter vs. tape-compiled.
+//!
+//! Runs every benchmark's default design through both simulator backends,
+//! measures runs/sec (tape compilation amortized, as in DSE and fuzzing),
+//! cross-checks the results bit-for-bit, and writes
+//! `results/BENCH_sim.json` with per-benchmark throughput and speedup.
+//! `DHDL_SIMBENCH_MIN_MS` (default 200) sets the minimum measured
+//! wall-clock per backend per benchmark.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dhdl_bench::report::{write_result, Table};
+use dhdl_sim::{compile, simulate, Bindings, CompileError, SimResult};
+use dhdl_target::Platform;
+
+/// Time `f` by repeating it until `min_ms` of wall-clock has elapsed;
+/// returns seconds per run.
+fn time_per_run<F: FnMut() -> SimResult>(mut f: F, min_ms: u64) -> f64 {
+    let _ = f(); // warm-up, and the caller's bit-identity witness
+    let min = std::time::Duration::from_millis(min_ms);
+    let mut runs = 0u64;
+    let start = Instant::now();
+    loop {
+        std::hint::black_box(f());
+        runs += 1;
+        if start.elapsed() >= min {
+            return start.elapsed().as_secs_f64() / runs as f64;
+        }
+    }
+}
+
+fn main() {
+    dhdl_obs::init_from_env();
+    let min_ms = std::env::var("DHDL_SIMBENCH_MIN_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let platform = Platform::maia();
+
+    let mut table = Table::new(&[
+        "Benchmark",
+        "interp runs/s",
+        "tape runs/s",
+        "speedup",
+        "compile ms",
+        "bit-identical",
+    ]);
+    let mut rows = Vec::new();
+    for bench in dhdl_apps::all() {
+        let name = bench.name().to_string();
+        let design = bench
+            .build(&bench.default_params())
+            .unwrap_or_else(|e| panic!("{name}: build failed: {e}"));
+        let mut bindings = Bindings::new();
+        for (input, data) in bench.inputs() {
+            bindings = bindings.bind(&input, data);
+        }
+
+        let t0 = Instant::now();
+        let compiled = match compile(&design, &platform) {
+            Ok(c) => c,
+            Err(CompileError::Unsupported(why)) => {
+                eprintln!("{name}: tape backend unsupported ({why}); skipping");
+                continue;
+            }
+        };
+        let compile_secs = t0.elapsed().as_secs_f64();
+
+        let interp = simulate(&design, &platform, &bindings).expect("interpreter runs");
+        let tape = compiled.run(&bindings).expect("tape runs");
+        let bit_identical = interp.bit_diff(&tape).is_none();
+
+        let interp_spr = time_per_run(|| simulate(&design, &platform, &bindings).unwrap(), min_ms);
+        let tape_spr = time_per_run(|| compiled.run(&bindings).unwrap(), min_ms);
+        let speedup = interp_spr / tape_spr;
+        table.row(&[
+            name.clone(),
+            format!("{:.0}", 1.0 / interp_spr),
+            format!("{:.0}", 1.0 / tape_spr),
+            format!("{speedup:.1}x"),
+            format!("{:.2}", compile_secs * 1e3),
+            bit_identical.to_string(),
+        ]);
+        rows.push((name, interp_spr, tape_spr, compile_secs, bit_identical));
+    }
+
+    println!("\nSimulator backend throughput (tape compilation amortized)\n");
+    println!("{}", table.render());
+
+    let geomean = (rows.iter().map(|(_, i, t, _, _)| (i / t).ln()).sum::<f64>()
+        / rows.len().max(1) as f64)
+        .exp();
+    println!("geomean speedup: {geomean:.1}x");
+    let all_identical = rows.iter().all(|r| r.4);
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (name, interp_spr, tape_spr, compile_secs, bitid)) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{name}\", \"interp_runs_per_sec\": {:.1}, \
+             \"tape_runs_per_sec\": {:.1}, \"speedup\": {:.2}, \
+             \"compile_ms\": {:.3}, \"bit_identical\": {bitid}}}",
+            1.0 / interp_spr,
+            1.0 / tape_spr,
+            interp_spr / tape_spr,
+            compile_secs * 1e3
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(
+        json,
+        "  ],\n  \"geomean_speedup\": {geomean:.2},\n  \"all_bit_identical\": {all_identical}\n}}"
+    );
+    let path = write_result("BENCH_sim.json", &json);
+    println!("wrote {}", path.display());
+    dhdl_obs::finish("simbench");
+}

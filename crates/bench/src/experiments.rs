@@ -11,7 +11,7 @@ use dhdl_dse::{
     EstimateCache,
 };
 use dhdl_estimate::{Estimate, Estimator};
-use dhdl_sim::{simulate, Bindings, SimResult};
+use dhdl_sim::{backend_from_env, simulate_with, Bindings, SimResult};
 use dhdl_synth::{design_hash, place_and_route, SynthReport};
 use dhdl_target::{AreaReport, Platform};
 
@@ -215,6 +215,10 @@ impl Harness {
 
     /// Simulate a built design on the benchmark's inputs.
     ///
+    /// The backend is selected by `DHDL_SIM_BACKEND` (`interp` | `tape`);
+    /// both produce bit-identical results, so experiment outputs do not
+    /// depend on the knob — only wall-clock time does.
+    ///
     /// # Panics
     ///
     /// Panics if simulation fails (benchmark designs are validated).
@@ -223,7 +227,7 @@ impl Harness {
         for (name, data) in bench.inputs() {
             bindings = bindings.bind(&name, data);
         }
-        simulate(design, &self.platform, &bindings)
+        simulate_with(backend_from_env(), design, &self.platform, &bindings)
             .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", bench.name()))
     }
 

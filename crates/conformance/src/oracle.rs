@@ -10,6 +10,7 @@
 //! | `serialize-roundtrip`| `to_text`/`from_text` is a stable fixpoint         |
 //! | `sim-vs-reference`   | simulator output == plain-Rust reference, bitwise  |
 //! | `sim-determinism`    | two simulator runs are bit-identical               |
+//! | `backend-differential`| tape-compiled backend == interpreter, bitwise     |
 //! | `estimate-finite`    | estimator cycles/area are finite and sane          |
 //! | `skeleton-recost`    | full elaborate == skeleton + recost netlist        |
 //! | `par-monotonic`      | more parallelism never shrinks raw area / adds time|
@@ -20,7 +21,7 @@
 use dhdl_core::{serialize, structural_hash, Design};
 use dhdl_dse::{model_fingerprint, CachedModel, CostModel, EstimateCache};
 use dhdl_estimate::{Estimate, Estimator};
-use dhdl_sim::{simulate, Bindings, SimResult};
+use dhdl_sim::{compile, simulate, Bindings, CompileError, SimResult};
 use dhdl_synth::{elaborate, elaborate_with, synthesize, Skeleton};
 use dhdl_target::{AreaReport, Platform};
 
@@ -199,6 +200,28 @@ impl Conformance {
                 invariant: "sim-determinism",
                 detail: format!("second simulation failed: {e}"),
             }),
+        }
+        // Backend differential: the tape-compiled backend must be
+        // bit-identical to the interpreter on every design it accepts —
+        // outputs, cycles, transfers, profile and trace alike.
+        match compile(design, &self.platform) {
+            Ok(compiled) => match compiled.run(&bindings) {
+                Ok(tape) => {
+                    if let Some(diff) = first.bit_diff(&tape) {
+                        v.push(Violation {
+                            invariant: "backend-differential",
+                            detail: format!("tape backend diverged from interpreter: {diff}"),
+                        });
+                    }
+                }
+                Err(e) => v.push(Violation {
+                    invariant: "backend-differential",
+                    detail: format!("tape backend failed where the interpreter succeeded: {e}"),
+                }),
+            },
+            // Designs outside the tape subset fall back to the interpreter
+            // in `simulate_compiled`; there is nothing to cross-check.
+            Err(CompileError::Unsupported(_)) => {}
         }
     }
 

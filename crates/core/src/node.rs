@@ -166,6 +166,7 @@ impl ReduceOp {
     }
 
     /// Apply the reduction to two values.
+    #[inline]
     pub fn apply(self, a: f64, b: f64) -> f64 {
         match self {
             ReduceOp::Add => a + b,

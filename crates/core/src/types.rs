@@ -95,6 +95,7 @@ impl DType {
     /// The functional simulator computes in `f64` and calls this after every
     /// operation so results match what the generated hardware would produce
     /// (to within the fidelity of the model).
+    #[inline]
     pub fn quantize(&self, x: f64) -> f64 {
         match *self {
             DType::F32 => x as f32 as f64,

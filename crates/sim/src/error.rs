@@ -32,6 +32,17 @@ pub enum SimError {
     /// design (a typo'd or stale binding would otherwise be silently
     /// ignored while the memory it meant to feed runs zeroed).
     UnknownBinding(String),
+    /// [`crate::SimResult::output`] was asked for an off-chip memory that
+    /// does not exist in the simulated design. Distinct from
+    /// [`SimError::MissingBinding`] (an *input* that was never bound):
+    /// this is a read-side lookup error, and the message lists the
+    /// outputs that do exist.
+    UnknownOutput {
+        /// The requested output name.
+        name: String,
+        /// The off-chip memory names the result actually holds.
+        available: Vec<String>,
+    },
     /// A controller's counter chain has zero total iterations (an `end`
     /// of 0 or a `step` of 0), so its body can never execute.
     ZeroTripLoop(NodeId),
@@ -52,6 +63,7 @@ impl SimError {
             SimError::ShapeMismatch { .. } => "shape_mismatch",
             SimError::OutOfBounds { .. } => "out_of_bounds",
             SimError::UnknownBinding(_) => "unknown_binding",
+            SimError::UnknownOutput { .. } => "unknown_output",
             SimError::ZeroTripLoop(_) => "zero_trip_loop",
             SimError::Unevaluated(_) => "unevaluated",
             SimError::Malformed(_) => "malformed",
@@ -82,6 +94,13 @@ impl fmt::Display for SimError {
                     "binding `{name}` matches no off-chip memory in the design"
                 )
             }
+            SimError::UnknownOutput { name, available } => {
+                write!(
+                    f,
+                    "no output named `{name}`; available outputs: [{}]",
+                    available.join(", ")
+                )
+            }
             SimError::ZeroTripLoop(ctrl) => {
                 write!(f, "controller {ctrl} has a zero-trip counter chain")
             }
@@ -110,5 +129,17 @@ mod tests {
         assert!(e.to_string().contains("expects 10"));
         let e = SimError::MissingBinding("y".into());
         assert!(e.to_string().contains('y'));
+    }
+
+    #[test]
+    fn unknown_output_lists_available() {
+        let e = SimError::UnknownOutput {
+            name: "oops".into(),
+            available: vec!["out".into(), "y".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("`oops`"));
+        assert!(msg.contains("out, y"));
+        assert_eq!(e.kind(), "unknown_output");
     }
 }

@@ -28,7 +28,7 @@ use crate::memory::DramTimeline;
 use crate::trace::{Trace, TraceEvent};
 
 /// Per-stage handshake overhead in cycles (matches the generated control).
-const STAGE_OVERHEAD: f64 = 2.0;
+pub(crate) const STAGE_OVERHEAD: f64 = 2.0;
 
 /// Input data bound to off-chip memories by name.
 ///
@@ -53,8 +53,14 @@ impl Bindings {
         self
     }
 
-    fn get(&self, name: &str) -> Option<&Vec<f64>> {
+    pub(crate) fn get(&self, name: &str) -> Option<&Vec<f64>> {
         self.map.get(name)
+    }
+
+    /// Bound names in sorted order (the validation order both backends
+    /// share).
+    pub(crate) fn names(&self) -> impl Iterator<Item = &str> {
+        self.map.keys().map(String::as_str)
     }
 }
 
@@ -79,9 +85,9 @@ pub struct SimResult {
     pub cycles: f64,
     /// Number of off-chip transfers issued.
     pub transfers: usize,
-    offchip: BTreeMap<String, Vec<f64>>,
-    profile: Vec<ProfileEntry>,
-    trace: Trace,
+    pub(crate) offchip: BTreeMap<String, Vec<f64>>,
+    pub(crate) profile: Vec<ProfileEntry>,
+    pub(crate) trace: Trace,
 }
 
 impl SimResult {
@@ -89,12 +95,91 @@ impl SimResult {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::MissingBinding`] if no such memory exists.
+    /// Returns [`SimError::UnknownOutput`] (listing the outputs that do
+    /// exist) if no such memory exists in the simulated design.
     pub fn output(&self, name: &str) -> Result<&[f64]> {
         self.offchip
             .get(name)
             .map(Vec::as_slice)
-            .ok_or_else(|| SimError::MissingBinding(name.to_string()))
+            .ok_or_else(|| SimError::UnknownOutput {
+                name: name.to_string(),
+                available: self.offchip.keys().cloned().collect(),
+            })
+    }
+
+    /// Names of all off-chip memories in the result, sorted.
+    pub fn output_names(&self) -> impl Iterator<Item = &str> {
+        self.offchip.keys().map(String::as_str)
+    }
+
+    /// Bit-exact comparison against another result (any backend).
+    ///
+    /// Returns `None` when cycles, transfer counts, every off-chip array,
+    /// the profile and the trace are bitwise identical; otherwise a
+    /// human-readable description of the first divergence. This is the
+    /// contract the tape backend is held to against the interpreter.
+    pub fn bit_diff(&self, other: &SimResult) -> Option<String> {
+        if self.cycles.to_bits() != other.cycles.to_bits() {
+            return Some(format!("cycles {} vs {}", self.cycles, other.cycles));
+        }
+        if self.transfers != other.transfers {
+            return Some(format!(
+                "transfers {} vs {}",
+                self.transfers, other.transfers
+            ));
+        }
+        let mine: Vec<&String> = self.offchip.keys().collect();
+        let theirs: Vec<&String> = other.offchip.keys().collect();
+        if mine != theirs {
+            return Some(format!("off-chip names {mine:?} vs {theirs:?}"));
+        }
+        for (name, a) in &self.offchip {
+            let b = &other.offchip[name];
+            if a.len() != b.len() {
+                return Some(format!("`{name}` length {} vs {}", a.len(), b.len()));
+            }
+            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                if x.to_bits() != y.to_bits() {
+                    return Some(format!(
+                        "`{name}`[{i}] = {x} ({:#x}) vs {y} ({:#x})",
+                        x.to_bits(),
+                        y.to_bits()
+                    ));
+                }
+            }
+        }
+        if self.profile.len() != other.profile.len() {
+            return Some(format!(
+                "profile length {} vs {}",
+                self.profile.len(),
+                other.profile.len()
+            ));
+        }
+        for (a, b) in self.profile.iter().zip(&other.profile) {
+            if a.ctrl != b.ctrl
+                || a.label != b.label
+                || a.executions != b.executions
+                || a.cycles.to_bits() != b.cycles.to_bits()
+            {
+                return Some(format!("profile entry {a:?} vs {b:?}"));
+            }
+        }
+        if self.trace.events.len() != other.trace.events.len() {
+            return Some(format!(
+                "trace length {} vs {}",
+                self.trace.events.len(),
+                other.trace.events.len()
+            ));
+        }
+        for (a, b) in self.trace.events.iter().zip(&other.trace.events) {
+            if a.ctrl != b.ctrl
+                || a.start.to_bits() != b.start.to_bits()
+                || a.end.to_bits() != b.end.to_bits()
+            {
+                return Some(format!("trace event {a:?} vs {b:?}"));
+            }
+        }
+        None
     }
 
     /// Wall-clock seconds on `platform`.
@@ -153,12 +238,13 @@ pub fn simulate(design: &Design, platform: &Platform, bindings: &Bindings) -> Re
 /// The full static counter name for an error path; a match (rather than
 /// formatting from [`SimError::kind`]) because counters need `'static`
 /// names.
-fn error_counter(e: &SimError) -> &'static str {
+pub(crate) fn error_counter(e: &SimError) -> &'static str {
     match e.kind() {
         "missing_binding" => "sim.errors.missing_binding",
         "shape_mismatch" => "sim.errors.shape_mismatch",
         "out_of_bounds" => "sim.errors.out_of_bounds",
         "unknown_binding" => "sim.errors.unknown_binding",
+        "unknown_output" => "sim.errors.unknown_output",
         "zero_trip_loop" => "sim.errors.zero_trip_loop",
         "unevaluated" => "sim.errors.unevaluated",
         _ => "sim.errors.malformed",
@@ -177,8 +263,22 @@ fn simulate_inner(design: &Design, platform: &Platform, bindings: &Bindings) -> 
             .unwrap_or_else(|| format!("{off}"));
         offchip.insert(name, sim.offchip.remove(&off).unwrap_or_default());
     }
-    let mut profile: Vec<ProfileEntry> = sim
-        .profile
+    Ok(SimResult {
+        cycles,
+        transfers: sim.dram.transfers(),
+        offchip,
+        profile: build_profile(design, &sim.profile),
+        trace: sim.trace,
+    })
+}
+
+/// Convert raw per-controller accumulators into the sorted profile —
+/// shared by both backends so labels and ordering match bit-for-bit.
+pub(crate) fn build_profile(
+    design: &Design,
+    profile: &BTreeMap<NodeId, (u64, f64)>,
+) -> Vec<ProfileEntry> {
+    let mut out: Vec<ProfileEntry> = profile
         .iter()
         .map(|(&ctrl, &(executions, cycles))| ProfileEntry {
             ctrl,
@@ -197,14 +297,8 @@ fn simulate_inner(design: &Design, platform: &Platform, bindings: &Bindings) -> 
             cycles,
         })
         .collect();
-    profile.sort_by(|a, b| b.cycles.total_cmp(&a.cycles));
-    Ok(SimResult {
-        cycles,
-        transfers: sim.dram.transfers(),
-        offchip,
-        profile,
-        trace: sim.trace,
-    })
+    out.sort_by(|a, b| b.cycles.total_cmp(&a.cycles));
+    out
 }
 
 struct Sim<'a> {
@@ -770,7 +864,8 @@ impl<'a> Sim<'a> {
     }
 }
 
-fn apply_prim(op: PrimOp, a: f64, b: f64) -> f64 {
+#[inline]
+pub(crate) fn apply_prim(op: PrimOp, a: f64, b: f64) -> f64 {
     match op {
         PrimOp::Add => a + b,
         PrimOp::Sub => a - b,

@@ -10,6 +10,17 @@
 //! estimator does not model. The gap between simulated and estimated
 //! cycles reproduces the runtime-estimation error of Table III.
 //!
+//! Two execution backends share those semantics: [`simulate`] is the
+//! per-cycle reference interpreter, and [`compile`]/[`Compiled::run`]
+//! lower a design once into a flat-arena instruction tape with
+//! precomputed timing and fused inner-loop kernels — bit-identical
+//! results (outputs, cycles, profile, trace, errors) at roughly an
+//! order of magnitude higher throughput. [`simulate_compiled`] prefers
+//! the tape and falls back to the interpreter for designs the compiler
+//! rejects ([`CompileError::Unsupported`]); [`simulate_with`] selects a
+//! [`Backend`] explicitly, e.g. from the `DHDL_SIM_BACKEND` environment
+//! knob via [`backend_from_env`].
+//!
 //! ```
 //! use dhdl_core::{by, DType, DesignBuilder};
 //! use dhdl_sim::{simulate, Bindings};
@@ -42,11 +53,17 @@
 
 #![warn(missing_docs)]
 
+mod arena;
+mod compile;
 mod error;
 mod interp;
 mod memory;
+mod tape;
 mod trace;
 
+pub use compile::{
+    backend_from_env, compile, simulate_compiled, simulate_with, Backend, CompileError, Compiled,
+};
 pub use error::{Result, SimError};
 pub use interp::{simulate, Bindings, ProfileEntry, SimResult};
 pub use memory::DramTimeline;

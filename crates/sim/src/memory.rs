@@ -10,9 +10,15 @@
 //! while modeling queueing delay.
 
 /// A first-fit reservation timeline for the off-chip channel.
+///
+/// Invariant: `busy` holds disjoint, non-touching intervals sorted by
+/// start — any reservation that lands exactly adjacent to an existing
+/// interval is merged into it on insert, so back-to-back streaming
+/// traffic (the overwhelmingly common case) keeps the list at O(1)
+/// intervals instead of growing one entry per transfer.
 #[derive(Debug, Clone, Default)]
 pub struct DramTimeline {
-    /// Busy intervals `(start, end)`, sorted by start.
+    /// Busy intervals `(start, end)`, sorted by start, pairwise disjoint.
     busy: Vec<(f64, f64)>,
     /// Transfers serviced (for reporting).
     transfers: usize,
@@ -34,6 +40,12 @@ impl DramTimeline {
         self.busy.iter().map(|(s, e)| e - s).sum()
     }
 
+    /// The busy intervals `(start, end)`, sorted by start and pairwise
+    /// disjoint (exposed for invariant checks and diagnostics).
+    pub fn busy_intervals(&self) -> &[(f64, f64)] {
+        &self.busy
+    }
+
     /// Reserve a transfer issued at `start` whose channel occupancy is
     /// `ideal` cycles. Returns the effective duration from `start` to the
     /// end of its reservation (ideal plus queueing delay).
@@ -42,45 +54,42 @@ impl DramTimeline {
             return 0.0;
         }
         // First-fit: earliest idle gap of width `ideal` at or after start.
+        // Intervals ending at or before `t` cannot constrain the search;
+        // binary-search past them instead of re-scanning them per request
+        // (the intervals are disjoint and sorted, so their ends are sorted
+        // too — a gap ending exactly at `t` is never revisited).
         let mut t = start.max(0.0);
+        let first = self.busy.partition_point(|&(_, e)| e <= t);
         let mut insert_at = self.busy.len();
-        for (i, &(s, e)) in self.busy.iter().enumerate() {
-            if e <= t {
-                continue;
-            }
+        for (i, &(s, e)) in self.busy.iter().enumerate().skip(first) {
             if s >= t + ideal {
+                // The reservation fits entirely in the gap before interval i.
                 insert_at = i;
                 break;
             }
             t = t.max(e);
         }
-        // Re-derive the insertion index for sorted order.
-        if insert_at == self.busy.len() {
-            insert_at = self
-                .busy
-                .iter()
-                .position(|&(s, _)| s > t)
-                .unwrap_or(self.busy.len());
-        }
-        self.busy.insert(insert_at, (t, t + ideal));
+        // One pass found both the placement time `t` and the sorted
+        // insertion index: every interval before `insert_at` ends at or
+        // before `t` (it was either skipped or bumped `t` to its end).
         self.transfers += 1;
-        // Safety valve for pathological run lengths: merge adjacent
-        // intervals once the list grows large.
-        if self.busy.len() > 65_536 {
-            self.coalesce();
-        }
-        t + ideal - start
-    }
-
-    fn coalesce(&mut self) {
-        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(self.busy.len() / 2);
-        for &(s, e) in self.busy.iter() {
-            match merged.last_mut() {
-                Some(last) if s <= last.1 + 1e-9 => last.1 = last.1.max(e),
-                _ => merged.push((s, e)),
+        let end = t + ideal;
+        // Merge with exactly-touching neighbours so the list stays short.
+        // Only exact adjacency merges — fuzzy merging would change
+        // `busy_cycles` and break its conservation against ideals.
+        let touches_prev = insert_at > 0 && self.busy[insert_at - 1].1 == t;
+        let touches_next = insert_at < self.busy.len() && self.busy[insert_at].0 == end;
+        match (touches_prev, touches_next) {
+            (true, true) => {
+                // Bridge: previous and next intervals fuse into one.
+                self.busy[insert_at - 1].1 = self.busy[insert_at].1;
+                self.busy.remove(insert_at);
             }
+            (true, false) => self.busy[insert_at - 1].1 = end,
+            (false, true) => self.busy[insert_at].0 = t,
+            (false, false) => self.busy.insert(insert_at, (t, end)),
         }
-        self.busy = merged;
+        end - start
     }
 }
 
@@ -145,13 +154,48 @@ mod tests {
     }
 
     #[test]
-    fn coalesce_preserves_busy_time() {
+    fn touching_intervals_merge_on_insert() {
         let mut t = DramTimeline::new();
         for i in 0..10 {
             t.request(i as f64 * 10.0, 10.0);
         }
-        let before = t.busy_cycles();
-        t.coalesce();
-        assert!((t.busy_cycles() - before).abs() < 1e-6);
+        // Ten back-to-back transfers occupy one merged interval.
+        assert_eq!(t.busy_intervals(), &[(0.0, 100.0)]);
+        assert_eq!(t.transfers(), 10);
+        assert!((t.busy_cycles() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bridging_request_fuses_neighbours() {
+        let mut t = DramTimeline::new();
+        t.request(0.0, 10.0); // [0, 10)
+        t.request(20.0, 10.0); // [20, 30)
+        assert_eq!(t.busy_intervals().len(), 2);
+        // Fits exactly in the [10, 20) gap: all three intervals fuse.
+        let d = t.request(10.0, 10.0);
+        assert_eq!(d, 10.0);
+        assert_eq!(t.busy_intervals(), &[(0.0, 30.0)]);
+    }
+
+    #[test]
+    fn queued_streaming_traffic_stays_compact() {
+        // The regression the merge fixes: a long run of same-issue-time
+        // transfers used to grow `busy` linearly and re-scan it per
+        // request (quadratic total). Merged, the list stays at one entry.
+        let mut t = DramTimeline::new();
+        for _ in 0..10_000 {
+            t.request(0.0, 3.0);
+        }
+        assert_eq!(t.busy_intervals().len(), 1);
+        assert_eq!(t.busy_intervals()[0], (0.0, 30_000.0));
+    }
+
+    #[test]
+    fn gap_ending_exactly_at_issue_time_is_skipped() {
+        let mut t = DramTimeline::new();
+        t.request(0.0, 10.0); // [0, 10)
+                              // Issue exactly at the end of the busy interval: no queueing.
+        assert_eq!(t.request(10.0, 5.0), 5.0);
+        assert_eq!(t.busy_intervals(), &[(0.0, 15.0)]);
     }
 }

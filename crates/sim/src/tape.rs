@@ -1,0 +1,985 @@
+//! Straight-line instruction tape and its executor.
+//!
+//! [`crate::compile`] lowers an elaborated design once into a flat
+//! `Vec<Instr>` over arena slots (see [`crate::arena`]): loops become
+//! `LoopStart`/`LoopEnd` pairs driven by a counter stack, iterator
+//! binding becomes integer decode instructions, and every memory access
+//! is a bounds-checked offset into the arena. Executing the tape touches
+//! no `HashMap`s, walks no graph, clones no `NodeKind`s and allocates
+//! nothing per cycle — the per-iteration cost is one `match` per
+//! instruction over dense arrays.
+//!
+//! The executor is *bit-identical* to the interpreter by construction:
+//! every instruction replicates the corresponding `eval_node` arm's f64
+//! operation order and quantization points, and structural errors the
+//! interpreter would raise mid-run are compiled to [`Instr::Abort`] at
+//! the exact tape position where the interpreter would first discover
+//! them.
+
+use dhdl_core::{DType, NodeId, PrimOp, ReduceOp};
+
+use crate::error::{Result, SimError};
+use crate::interp::apply_prim;
+
+/// A compiled tile-transfer descriptor (one per `TileLoad`/`TileStore`
+/// site). Offsets are read from the arena at runtime; everything else is
+/// static.
+#[derive(Debug, Clone)]
+pub(crate) struct TileDesc {
+    /// Arena base of the off-chip array.
+    pub offchip_base: usize,
+    /// The off-chip node (for error payloads).
+    pub offchip: NodeId,
+    /// Off-chip array dimensions.
+    pub dims: Vec<u64>,
+    /// Suffix-product strides of `dims` (`strides[d] = Π dims[d+1..]`).
+    pub strides: Vec<u64>,
+    /// Arena base of the on-chip buffer.
+    pub local_base: usize,
+    /// On-chip buffer length in elements.
+    pub local_len: usize,
+    /// Tile extent per dimension.
+    pub tile: Vec<u64>,
+    /// Product of `tile` extents.
+    pub tile_elems: u64,
+    /// Arena slots holding the per-dimension offsets.
+    pub offsets: Vec<usize>,
+    /// `true` for a load (off-chip → on-chip), `false` for a store.
+    pub load: bool,
+}
+
+/// One straight-line instruction over arena slots.
+#[derive(Debug, Clone)]
+pub(crate) enum Instr {
+    /// `arena[dst] = ty.quantize(apply_prim(op, arena[a], arena[b]))`.
+    Bin {
+        /// Primitive operation.
+        op: PrimOp,
+        /// Left operand slot.
+        a: usize,
+        /// Right operand slot.
+        b: usize,
+        /// Destination slot.
+        dst: usize,
+        /// Result type.
+        ty: DType,
+    },
+    /// Unary primitive: second operand fixed at `0.0`, as in the
+    /// interpreter.
+    Un {
+        /// Primitive operation.
+        op: PrimOp,
+        /// Operand slot.
+        a: usize,
+        /// Destination slot.
+        dst: usize,
+        /// Result type.
+        ty: DType,
+    },
+    /// 2:1 multiplexer.
+    Mux {
+        /// Select slot.
+        sel: usize,
+        /// Slot read when select is nonzero.
+        t: usize,
+        /// Slot read when select is zero.
+        f: usize,
+        /// Destination slot.
+        dst: usize,
+        /// Result type.
+        ty: DType,
+    },
+    /// Re-quantize a slot in place (an `Iter` node appearing in a pipe
+    /// body, which the interpreter passes back through `ty.quantize`).
+    Requant {
+        /// Slot to quantize.
+        slot: usize,
+        /// Type to quantize at.
+        ty: DType,
+    },
+    /// Bounds-checked memory read.
+    Load {
+        /// Arena base of the memory.
+        base: usize,
+        /// `(start, len)` into the address-term pool.
+        terms: (u32, u32),
+        /// Flattened memory size (for the bounds check).
+        size: u64,
+        /// Memory node (for error payloads).
+        mem: NodeId,
+        /// Destination slot.
+        dst: usize,
+        /// Result type.
+        ty: DType,
+    },
+    /// Bounds-checked memory write (also forwards the raw value to the
+    /// store node's own slot at the node's type, like `eval_node`).
+    Store {
+        /// Arena base of the memory.
+        base: usize,
+        /// `(start, len)` into the address-term pool.
+        terms: (u32, u32),
+        /// Flattened memory size (for the bounds check).
+        size: u64,
+        /// Memory node (for error payloads).
+        mem: NodeId,
+        /// Slot holding the value to store.
+        val: usize,
+        /// The memory's element type.
+        mem_ty: DType,
+        /// The store node's own slot.
+        dst: usize,
+        /// The store node's type.
+        dst_ty: DType,
+    },
+    /// Pop the minimum element of a priority queue (`0.0` when empty).
+    QPop {
+        /// Queue index.
+        q: usize,
+        /// Destination slot.
+        dst: usize,
+        /// Result type.
+        ty: DType,
+    },
+    /// Push a value into a priority queue.
+    QPush {
+        /// Queue index.
+        q: usize,
+        /// Slot holding the value.
+        val: usize,
+        /// The queue's element type.
+        mem_ty: DType,
+        /// The store node's own slot.
+        dst: usize,
+        /// The store node's type.
+        dst_ty: DType,
+    },
+    /// One step of a register reduction:
+    /// `arena[acc] = ty.quantize(op.apply(arena[acc], arena[val]))`.
+    ReduceStep {
+        /// Accumulator slot (element 0 of the reduce register).
+        acc: usize,
+        /// Operand slot.
+        val: usize,
+        /// Combining operator.
+        op: ReduceOp,
+        /// Accumulator type.
+        ty: DType,
+    },
+    /// Fill `len` slots from `base` with a raw value (fold/reduce
+    /// identity resets — unquantized, as in the interpreter).
+    Fill {
+        /// First slot.
+        base: usize,
+        /// Slot count.
+        len: usize,
+        /// Raw fill value.
+        val: f64,
+    },
+    /// Element-wise fold of one buffer into an accumulator buffer.
+    Fold {
+        /// Source buffer base.
+        src: usize,
+        /// Accumulator buffer base.
+        acc: usize,
+        /// Elements combined (`min` of the two lengths).
+        len: usize,
+        /// Combining operator.
+        op: ReduceOp,
+        /// Accumulator type.
+        ty: DType,
+    },
+    /// Execute the tile transfer described by `tiles[idx]`.
+    Tile(usize),
+    /// Enter a counted loop (`trips >= 1`; zero-trip loops compile to
+    /// `Abort`).
+    LoopStart {
+        /// Iteration count.
+        trips: u64,
+    },
+    /// Close the innermost loop: jump back while iterations remain.
+    LoopEnd,
+    /// Bind an iterator slot from a loop counter:
+    /// `arena[dst] = ((counter / div) % modu * step) as f64`.
+    Iter {
+        /// Destination slot.
+        dst: usize,
+        /// Loop-stack depth of the driving counter.
+        depth: usize,
+        /// Divisor (suffix trip product for linearized outer loops, 1
+        /// for direct pipe loops).
+        div: u64,
+        /// Modulus (the dimension's trip count).
+        modu: u64,
+        /// Counter step.
+        step: u64,
+    },
+    /// `Iter` specialized for `div == 1 && modu == trips` of the driving
+    /// loop (every direct pipe dimension): the divide and modulo are
+    /// identities, so `arena[dst] = (counter * step) as f64` — identical
+    /// arithmetic without the per-iteration integer division.
+    IterLin {
+        /// Destination slot.
+        dst: usize,
+        /// Loop-stack depth of the driving counter.
+        depth: usize,
+        /// Counter step.
+        step: u64,
+    },
+    /// Execute the fused innermost loop `kernels[idx]` (replaces a
+    /// `LoopStart`/body/`LoopEnd` region whose body passed the fusion
+    /// safety checks).
+    Kernel(usize),
+    /// Raise `errors[idx]` — a structural error the interpreter would
+    /// discover at this execution position.
+    Abort(usize),
+}
+
+/// Iterations processed per fused-kernel block: each micro-op is
+/// dispatched once per block instead of once per iteration, amortizing
+/// interpreter dispatch ~32x on hot inner loops.
+const LANES: usize = 32;
+
+/// Operand source of a fused micro-op: either another micro-op's lane
+/// vector (a value produced earlier in the same iteration) or an arena
+/// slot that no micro-op writes (invariant across the fused loop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum KSrc {
+    /// Lane vector of the micro-op at this index.
+    Lane(usize),
+    /// Loop-invariant arena slot.
+    Slot(usize),
+}
+
+/// One micro-op of a fused innermost loop. Each evaluates a full block
+/// of iterations ("lanes") at a time; the f64 operation and quantization
+/// order *per lane* is identical to the unfused instruction sequence,
+/// and the safety conditions checked at fusion time (see
+/// `compile::Emitter::try_build_kernel`) guarantee the lane-major
+/// evaluation order is unobservable.
+#[derive(Debug, Clone)]
+pub(crate) enum KOp {
+    /// Innermost-loop iterator: lane `l` holds `((c0 + l) * step) as f64`.
+    Lin {
+        /// Iterator arena slot (for final write-back).
+        dst: usize,
+        /// Counter step.
+        step: u64,
+    },
+    /// Iterator of an enclosing loop — constant across the fused loop.
+    Outer {
+        /// Iterator arena slot (for final write-back).
+        dst: usize,
+        /// Loop-stack depth of the driving counter.
+        depth: usize,
+        /// Counter step.
+        step: u64,
+    },
+    /// Lane-wise binary primitive.
+    Bin {
+        /// Primitive operation.
+        op: PrimOp,
+        /// Left operand.
+        a: KSrc,
+        /// Right operand.
+        b: KSrc,
+        /// Result arena slot (for final write-back).
+        dst: usize,
+        /// Result type.
+        ty: DType,
+    },
+    /// Lane-wise unary primitive.
+    Un {
+        /// Primitive operation.
+        op: PrimOp,
+        /// Operand.
+        a: KSrc,
+        /// Result arena slot (for final write-back).
+        dst: usize,
+        /// Result type.
+        ty: DType,
+    },
+    /// Lane-wise 2:1 multiplexer.
+    Mux {
+        /// Select operand.
+        sel: KSrc,
+        /// Operand when select is nonzero.
+        t: KSrc,
+        /// Operand when select is zero.
+        f: KSrc,
+        /// Result arena slot (for final write-back).
+        dst: usize,
+        /// Result type.
+        ty: DType,
+    },
+    /// Lane-wise re-quantization of an earlier micro-op's value.
+    Requant {
+        /// Operand.
+        a: KSrc,
+        /// Target arena slot (for final write-back).
+        dst: usize,
+        /// Type to quantize at.
+        ty: DType,
+    },
+    /// Lane-wise bounds-checked memory read.
+    Load {
+        /// Arena base of the memory.
+        base: usize,
+        /// Address terms `(source, dim)`.
+        terms: Vec<(KSrc, u64)>,
+        /// Flattened memory size.
+        size: u64,
+        /// Memory node (for error payloads).
+        mem: NodeId,
+        /// Result arena slot (for final write-back).
+        dst: usize,
+        /// Result type.
+        ty: DType,
+    },
+    /// Lane-wise bounds-checked memory write.
+    Store {
+        /// Arena base of the memory.
+        base: usize,
+        /// Address terms `(source, dim)`.
+        terms: Vec<(KSrc, u64)>,
+        /// Flattened memory size.
+        size: u64,
+        /// Memory node (for error payloads).
+        mem: NodeId,
+        /// Value operand.
+        val: KSrc,
+        /// The memory's element type.
+        mem_ty: DType,
+        /// The store node's arena slot (for final write-back).
+        dst: usize,
+        /// The store node's type.
+        dst_ty: DType,
+    },
+    /// Sequential (loop-carried) reduction over the lanes of a block —
+    /// evaluated in lane order, preserving the interpreter's exact
+    /// accumulation chain.
+    Reduce {
+        /// Accumulator arena slot (element 0 of the reduce register).
+        acc: usize,
+        /// Operand.
+        val: KSrc,
+        /// Combining operator.
+        op: ReduceOp,
+        /// Accumulator type.
+        ty: DType,
+    },
+}
+
+impl KOp {
+    /// The arena slot this micro-op's final-iteration value is written
+    /// back to (`None` for `Reduce`, which updates the arena in place).
+    fn dst(&self) -> Option<usize> {
+        match self {
+            KOp::Lin { dst, .. }
+            | KOp::Outer { dst, .. }
+            | KOp::Bin { dst, .. }
+            | KOp::Un { dst, .. }
+            | KOp::Mux { dst, .. }
+            | KOp::Requant { dst, .. }
+            | KOp::Load { dst, .. }
+            | KOp::Store { dst, .. } => Some(*dst),
+            KOp::Reduce { .. } => None,
+        }
+    }
+}
+
+/// A fused innermost loop: micro-ops dispatched once per block of
+/// [`LANES`] iterations.
+#[derive(Debug, Clone)]
+pub(crate) struct Kernel {
+    /// Iteration count of the fused loop.
+    pub trips: u64,
+    /// The loop body as micro-ops in original instruction order.
+    pub ops: Vec<KOp>,
+}
+
+/// One live loop on the executor's counter stack.
+struct Frame {
+    body: usize,
+    counter: u64,
+    trips: u64,
+}
+
+/// The flat program: instruction tape plus its constant pools.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Tape {
+    /// The instructions.
+    pub instrs: Vec<Instr>,
+    /// Address-term pool: `(slot, dim)` pairs referenced by
+    /// `Load`/`Store` (`idx = idx * dim + arena[slot]` per term).
+    pub addr_pool: Vec<(usize, u64)>,
+    /// Tile descriptors referenced by `Tile`.
+    pub tiles: Vec<TileDesc>,
+    /// Fused-loop kernels referenced by `Kernel`.
+    pub kernels: Vec<Kernel>,
+    /// Error pool referenced by `Abort`.
+    pub errors: Vec<SimError>,
+}
+
+impl Tape {
+    /// Run the tape to completion over `arena` and `queues`.
+    pub fn execute(&self, arena: &mut [f64], queues: &mut [Vec<f64>]) -> Result<()> {
+        let mut ip = 0usize;
+        let mut frames: Vec<Frame> = Vec::with_capacity(16);
+        while ip < self.instrs.len() {
+            match &self.instrs[ip] {
+                Instr::Bin { op, a, b, dst, ty } => {
+                    arena[*dst] = ty.quantize(apply_prim(*op, arena[*a], arena[*b]));
+                }
+                Instr::Un { op, a, dst, ty } => {
+                    arena[*dst] = ty.quantize(apply_prim(*op, arena[*a], 0.0));
+                }
+                Instr::Mux { sel, t, f, dst, ty } => {
+                    let v = if arena[*sel] != 0.0 {
+                        arena[*t]
+                    } else {
+                        arena[*f]
+                    };
+                    arena[*dst] = ty.quantize(v);
+                }
+                Instr::Requant { slot, ty } => {
+                    arena[*slot] = ty.quantize(arena[*slot]);
+                }
+                Instr::Load {
+                    base,
+                    terms,
+                    size,
+                    mem,
+                    dst,
+                    ty,
+                } => {
+                    let idx = self.flat_index(arena, *terms, *size, *mem)?;
+                    arena[*dst] = ty.quantize(arena[base + idx]);
+                }
+                Instr::Store {
+                    base,
+                    terms,
+                    size,
+                    mem,
+                    val,
+                    mem_ty,
+                    dst,
+                    dst_ty,
+                } => {
+                    let v = arena[*val];
+                    let idx = self.flat_index(arena, *terms, *size, *mem)?;
+                    arena[base + idx] = mem_ty.quantize(v);
+                    arena[*dst] = dst_ty.quantize(v);
+                }
+                Instr::QPop { q, dst, ty } => {
+                    let queue = &mut queues[*q];
+                    let v = if queue.is_empty() {
+                        0.0
+                    } else {
+                        // total_cmp, as in the interpreter: NaN sorts
+                        // last instead of panicking the comparator.
+                        let (mi, _) = queue
+                            .iter()
+                            .enumerate()
+                            .min_by(|a, b| a.1.total_cmp(b.1))
+                            .expect("nonempty");
+                        queue.remove(mi)
+                    };
+                    arena[*dst] = ty.quantize(v);
+                }
+                Instr::QPush {
+                    q,
+                    val,
+                    mem_ty,
+                    dst,
+                    dst_ty,
+                } => {
+                    let v = arena[*val];
+                    queues[*q].push(mem_ty.quantize(v));
+                    arena[*dst] = dst_ty.quantize(v);
+                }
+                Instr::ReduceStep { acc, val, op, ty } => {
+                    arena[*acc] = ty.quantize(op.apply(arena[*acc], arena[*val]));
+                }
+                Instr::Fill { base, len, val } => {
+                    for slot in &mut arena[*base..base + len] {
+                        *slot = *val;
+                    }
+                }
+                Instr::Fold {
+                    src,
+                    acc,
+                    len,
+                    op,
+                    ty,
+                } => {
+                    // Forward in place: slot `i` is read before any slot
+                    // `>= i` is written, so this matches the
+                    // interpreter's clone-then-zip even when `src ==
+                    // acc`.
+                    for i in 0..*len {
+                        arena[acc + i] = ty.quantize(op.apply(arena[acc + i], arena[src + i]));
+                    }
+                }
+                Instr::Tile(t) => self.run_tile(&self.tiles[*t], arena)?,
+                Instr::LoopStart { trips } => {
+                    debug_assert!(*trips >= 1, "zero-trip loops compile to Abort");
+                    frames.push(Frame {
+                        body: ip + 1,
+                        counter: 0,
+                        trips: *trips,
+                    });
+                }
+                Instr::LoopEnd => {
+                    let f = frames.last_mut().expect("balanced loops");
+                    f.counter += 1;
+                    if f.counter < f.trips {
+                        ip = f.body;
+                        continue;
+                    }
+                    frames.pop();
+                }
+                Instr::Iter {
+                    dst,
+                    depth,
+                    div,
+                    modu,
+                    step,
+                } => {
+                    let counter = frames[*depth].counter;
+                    arena[*dst] = (counter / div % modu * step) as f64;
+                }
+                Instr::IterLin { dst, depth, step } => {
+                    arena[*dst] = (frames[*depth].counter * step) as f64;
+                }
+                Instr::Kernel(k) => self.run_kernel(&self.kernels[*k], &frames, arena)?,
+                Instr::Abort(e) => return Err(self.errors[*e].clone()),
+            }
+            ip += 1;
+        }
+        Ok(())
+    }
+
+    /// Execute a fused innermost loop in blocks of [`LANES`] iterations.
+    ///
+    /// Per lane, every micro-op performs exactly the f64 operations of
+    /// its source instruction; the fusion safety checks guarantee the
+    /// reordering across lanes is unobservable. Out-of-bounds accesses
+    /// are collected per block and the lexicographically-first one (by
+    /// iteration, then instruction position) is raised — the exact error
+    /// the unfused loop would hit first. The arena slots of all body
+    /// nodes are written back with their final-iteration values, so any
+    /// instruction after the loop observes the interpreter's state.
+    fn run_kernel(&self, k: &Kernel, frames: &[Frame], arena: &mut [f64]) -> Result<()> {
+        #[inline]
+        fn get(lanes: &[[f64; LANES]], arena: &[f64], src: KSrc, l: usize) -> f64 {
+            match src {
+                KSrc::Lane(i) => lanes[i][l],
+                KSrc::Slot(s) => arena[s],
+            }
+        }
+        /// Materialize an operand's block: copy the producing op's lane
+        /// vector, or splat a loop-invariant arena slot (invariant
+        /// because no micro-op writes it and memory regions are disjoint
+        /// from node slots). Keeps the per-lane loops below free of
+        /// source dispatch so they vectorize.
+        #[inline]
+        fn mat(lanes: &[[f64; LANES]], arena: &[f64], src: KSrc) -> [f64; LANES] {
+            match src {
+                KSrc::Lane(i) => lanes[i],
+                KSrc::Slot(s) => [arena[s]; LANES],
+            }
+        }
+        /// Flattened address of lane `l`, with the interpreter's exact
+        /// term arithmetic.
+        #[inline]
+        fn addr_at(lanes: &[[f64; LANES]], arena: &[f64], terms: &[(KSrc, u64)], l: usize) -> i64 {
+            let mut idx = 0i64;
+            for &(src, dim) in terms {
+                idx = idx * dim as i64 + get(lanes, arena, src, l) as i64;
+            }
+            idx
+        }
+        /// Lane-wise primitive evaluation: one operation dispatch per
+        /// block, with the hot arithmetic ops written out so LLVM can
+        /// vectorize them.
+        fn bin_block(op: PrimOp, a: &[f64; LANES], bb: &[f64; LANES], out: &mut [f64]) {
+            macro_rules! lanewise {
+                ($f:expr) => {
+                    for (l, o) in out.iter_mut().enumerate() {
+                        *o = $f(a[l], bb[l]);
+                    }
+                };
+            }
+            match op {
+                PrimOp::Add => lanewise!(|x: f64, y: f64| x + y),
+                PrimOp::Sub => lanewise!(|x: f64, y: f64| x - y),
+                PrimOp::Mul => lanewise!(|x: f64, y: f64| x * y),
+                PrimOp::Div => lanewise!(|x: f64, y: f64| x / y),
+                PrimOp::Lt => lanewise!(|x: f64, y: f64| f64::from(x < y)),
+                PrimOp::Le => lanewise!(|x: f64, y: f64| f64::from(x <= y)),
+                PrimOp::Gt => lanewise!(|x: f64, y: f64| f64::from(x > y)),
+                PrimOp::Ge => lanewise!(|x: f64, y: f64| f64::from(x >= y)),
+                PrimOp::Min => lanewise!(|x: f64, y: f64| x.min(y)),
+                PrimOp::Max => lanewise!(|x: f64, y: f64| x.max(y)),
+                PrimOp::Neg => lanewise!(|x: f64, _: f64| -x),
+                PrimOp::Abs => lanewise!(|x: f64, _: f64| x.abs()),
+                PrimOp::Sqrt => lanewise!(|x: f64, _: f64| x.sqrt()),
+                _ => lanewise!(|x, y| apply_prim(op, x, y)),
+            }
+        }
+        /// Lane-wise quantization: one type dispatch per block.
+        fn quantize_block(ty: DType, out: &mut [f64]) {
+            match ty {
+                DType::F64 => {}
+                DType::F32 => {
+                    for o in out.iter_mut() {
+                        *o = *o as f32 as f64;
+                    }
+                }
+                DType::Bool => {
+                    for o in out.iter_mut() {
+                        *o = f64::from(*o != 0.0);
+                    }
+                }
+                fix => {
+                    for o in out.iter_mut() {
+                        *o = fix.quantize(*o);
+                    }
+                }
+            }
+        }
+        // Per-block linear coefficient of a load/store address in the
+        // lane index. `Some` only when the address is provably affine
+        // (every term loop-invariant or innermost-linear) and every
+        // intermediate value round-trips exactly through the per-lane
+        // path's f64 representation; `None` falls back to the exact
+        // per-lane walk.
+        let stride_of = |terms: &[(KSrc, u64)]| -> Option<i64> {
+            let mut stride = 0i64;
+            let mut suffix = 1i64;
+            for &(src, dim) in terms.iter().rev() {
+                match src {
+                    KSrc::Slot(_) => {}
+                    KSrc::Lane(i) => match k.ops[i] {
+                        KOp::Outer { .. } => {}
+                        KOp::Lin { step, .. } => {
+                            let max = (k.trips - 1).checked_mul(step)?;
+                            if max >= (1u64 << 53) {
+                                return None;
+                            }
+                            stride = stride
+                                .checked_add(i64::try_from(step).ok()?.checked_mul(suffix)?)?;
+                        }
+                        _ => return None,
+                    },
+                }
+                suffix = suffix.checked_mul(i64::try_from(dim).ok()?)?;
+            }
+            Some(stride)
+        };
+        let mut lanes = vec![[0.0f64; LANES]; k.ops.len()];
+        let mut c0 = 0u64;
+        while c0 < k.trips {
+            let b = ((k.trips - c0) as usize).min(LANES);
+            // Earliest error this block, ordered by (lane, op position) —
+            // the interpreter's discovery order.
+            let mut err: Option<(usize, usize, SimError)> = None;
+            for (j, op) in k.ops.iter().enumerate() {
+                // Operands only ever reference earlier micro-ops (forward
+                // dataflow, checked at fusion time), so `prev` holds every
+                // readable lane vector and `out` is this op's own.
+                let (prev, rest) = lanes.split_at_mut(j);
+                let out: &mut [f64; LANES] = &mut rest[0];
+                match op {
+                    KOp::Lin { step, .. } => {
+                        for (l, o) in out[..b].iter_mut().enumerate() {
+                            *o = ((c0 + l as u64) * step) as f64;
+                        }
+                    }
+                    KOp::Outer { depth, step, .. } => {
+                        out[..b].fill((frames[*depth].counter * step) as f64);
+                    }
+                    KOp::Bin {
+                        op, a, b: bb, ty, ..
+                    } => {
+                        let va = mat(prev, arena, *a);
+                        let vb = mat(prev, arena, *bb);
+                        bin_block(*op, &va, &vb, &mut out[..b]);
+                        quantize_block(*ty, &mut out[..b]);
+                    }
+                    KOp::Un { op, a, ty, .. } => {
+                        let va = mat(prev, arena, *a);
+                        bin_block(*op, &va, &[0.0; LANES], &mut out[..b]);
+                        quantize_block(*ty, &mut out[..b]);
+                    }
+                    KOp::Mux { sel, t, f, ty, .. } => {
+                        let vs = mat(prev, arena, *sel);
+                        let vt = mat(prev, arena, *t);
+                        let vf = mat(prev, arena, *f);
+                        for (l, o) in out[..b].iter_mut().enumerate() {
+                            *o = if vs[l] != 0.0 { vt[l] } else { vf[l] };
+                        }
+                        quantize_block(*ty, &mut out[..b]);
+                    }
+                    KOp::Requant { a, ty, .. } => {
+                        let va = mat(prev, arena, *a);
+                        out[..b].copy_from_slice(&va[..b]);
+                        quantize_block(*ty, &mut out[..b]);
+                    }
+                    KOp::Load {
+                        base,
+                        terms,
+                        size,
+                        mem,
+                        ty,
+                        ..
+                    } => {
+                        let fast = stride_of(terms).and_then(|s| {
+                            let idx0 = addr_at(prev, arena, terms, 0);
+                            let last = idx0.checked_add(s.checked_mul(b as i64 - 1)?)?;
+                            (idx0 >= 0
+                                && last >= 0
+                                && (idx0 as u64) < *size
+                                && (last as u64) < *size)
+                                .then_some((idx0, s))
+                        });
+                        if let Some((idx0, s)) = fast {
+                            // The address is affine in the lane index and
+                            // both endpoints are in bounds, so every lane
+                            // is: read without per-lane checks.
+                            for (l, o) in out[..b].iter_mut().enumerate() {
+                                *o = arena[(*base as i64 + idx0 + l as i64 * s) as usize];
+                            }
+                            quantize_block(*ty, &mut out[..b]);
+                        } else {
+                            for (l, o) in out[..b].iter_mut().enumerate() {
+                                let idx = addr_at(prev, arena, terms, l);
+                                if idx < 0 || idx as u64 >= *size {
+                                    if err.as_ref().map_or(true, |(el, ej, _)| (l, j) < (*el, *ej))
+                                    {
+                                        err = Some((
+                                            l,
+                                            j,
+                                            SimError::OutOfBounds {
+                                                mem: *mem,
+                                                index: idx,
+                                                size: *size,
+                                            },
+                                        ));
+                                    }
+                                } else {
+                                    *o = ty.quantize(arena[base + idx as usize]);
+                                }
+                            }
+                        }
+                    }
+                    KOp::Store {
+                        base,
+                        terms,
+                        size,
+                        mem,
+                        val,
+                        mem_ty,
+                        dst_ty,
+                        ..
+                    } => {
+                        let v = mat(prev, arena, *val);
+                        let fast = stride_of(terms).and_then(|s| {
+                            let idx0 = addr_at(prev, arena, terms, 0);
+                            let last = idx0.checked_add(s.checked_mul(b as i64 - 1)?)?;
+                            (idx0 >= 0
+                                && last >= 0
+                                && (idx0 as u64) < *size
+                                && (last as u64) < *size)
+                                .then_some((idx0, s))
+                        });
+                        if let Some((idx0, s)) = fast {
+                            let mut q = v;
+                            quantize_block(*mem_ty, &mut q[..b]);
+                            for (l, &qv) in q[..b].iter().enumerate() {
+                                arena[(*base as i64 + idx0 + l as i64 * s) as usize] = qv;
+                            }
+                            out[..b].copy_from_slice(&v[..b]);
+                            quantize_block(*dst_ty, &mut out[..b]);
+                        } else {
+                            for (l, o) in out[..b].iter_mut().enumerate() {
+                                let idx = addr_at(prev, arena, terms, l);
+                                if idx < 0 || idx as u64 >= *size {
+                                    if err.as_ref().map_or(true, |(el, ej, _)| (l, j) < (*el, *ej))
+                                    {
+                                        err = Some((
+                                            l,
+                                            j,
+                                            SimError::OutOfBounds {
+                                                mem: *mem,
+                                                index: idx,
+                                                size: *size,
+                                            },
+                                        ));
+                                    }
+                                } else {
+                                    arena[base + idx as usize] = mem_ty.quantize(v[l]);
+                                }
+                                *o = dst_ty.quantize(v[l]);
+                            }
+                        }
+                    }
+                    KOp::Reduce { acc, val, op, ty } => {
+                        // Loop-carried: evaluated sequentially in lane
+                        // order, preserving the exact accumulation chain.
+                        let v = mat(prev, arena, *val);
+                        let mut a = arena[*acc];
+                        match (op, ty) {
+                            (ReduceOp::Add, DType::F32) => {
+                                for &x in &v[..b] {
+                                    a = (a + x) as f32 as f64;
+                                }
+                            }
+                            (ReduceOp::Add, DType::F64) => {
+                                for &x in &v[..b] {
+                                    a += x;
+                                }
+                            }
+                            _ => {
+                                for &x in &v[..b] {
+                                    a = ty.quantize(op.apply(a, x));
+                                }
+                            }
+                        }
+                        arena[*acc] = a;
+                    }
+                }
+            }
+            if let Some((_, _, e)) = err {
+                return Err(e);
+            }
+            c0 += b as u64;
+            if c0 == k.trips {
+                // Final block: leave every body node's slot holding its
+                // last-iteration value, as the unfused loop would.
+                for (j, op) in k.ops.iter().enumerate() {
+                    if let Some(dst) = op.dst() {
+                        arena[dst] = lanes[j][b - 1];
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compute a flattened memory index with the interpreter's exact
+    /// arithmetic and bounds check.
+    #[inline]
+    fn flat_index(
+        &self,
+        arena: &[f64],
+        (start, len): (u32, u32),
+        size: u64,
+        mem: NodeId,
+    ) -> Result<usize> {
+        let mut idx: i64 = 0;
+        for &(slot, dim) in &self.addr_pool[start as usize..(start + len) as usize] {
+            idx = idx * dim as i64 + arena[slot] as i64;
+        }
+        if idx < 0 || idx as u64 >= size {
+            return Err(SimError::OutOfBounds {
+                mem,
+                index: idx,
+                size,
+            });
+        }
+        Ok(idx as usize)
+    }
+
+    /// Execute one tile transfer: a row-wise `copy_within` fast path when
+    /// the whole tile is statically in bounds, otherwise an element-wise
+    /// replica of the interpreter's loop (identical out-of-bounds error
+    /// payloads and wrap-around addressing).
+    fn run_tile(&self, d: &TileDesc, arena: &mut [f64]) -> Result<()> {
+        if d.tile_elems == 0 {
+            return Ok(());
+        }
+        let rank = d.tile.len();
+        let mut offs = [0u64; 8];
+        let offs = if rank <= 8 {
+            for (o, &slot) in offs.iter_mut().zip(&d.offsets) {
+                *o = arena[slot] as u64;
+            }
+            &offs[..rank]
+        } else {
+            // Arbitrary-rank fallback (never hit by builder designs).
+            return self.run_tile_slow(d, arena, None);
+        };
+        let fits = d.local_len as u64 >= d.tile_elems
+            && rank >= 1
+            && offs
+                .iter()
+                .zip(&d.tile)
+                .zip(&d.dims)
+                .all(|((&o, &t), &m)| t <= m && o <= m - t);
+        if !fits {
+            return self.run_tile_slow(d, arena, Some(offs));
+        }
+        let inner = d.tile[rank - 1] as usize;
+        let rows = (d.tile_elems as usize) / inner;
+        for row in 0..rows {
+            let mut rem = row as u64;
+            let mut off = offs[rank - 1] * d.strides[rank - 1];
+            for dd in (0..rank - 1).rev() {
+                let c = rem % d.tile[dd];
+                rem /= d.tile[dd];
+                off += (offs[dd] + c) * d.strides[dd];
+            }
+            let global = d.offchip_base + off as usize;
+            let local = d.local_base + row * inner;
+            if d.load {
+                arena.copy_within(global..global + inner, local);
+            } else {
+                arena.copy_within(local..local + inner, global);
+            }
+        }
+        Ok(())
+    }
+
+    /// Element-wise tile transfer: a faithful replica of the
+    /// interpreter's copy loop, including its out-of-bounds check per
+    /// dimension (innermost first) and local-index wrap-around.
+    fn run_tile_slow(&self, d: &TileDesc, arena: &mut [f64], offs: Option<&[u64]>) -> Result<()> {
+        let mut buf;
+        let offs = match offs {
+            Some(o) => o,
+            None => {
+                buf = vec![0u64; d.offsets.len()];
+                for (o, &slot) in buf.iter_mut().zip(&d.offsets) {
+                    *o = arena[slot] as u64;
+                }
+                &buf
+            }
+        };
+        for lin in 0..d.tile_elems {
+            let mut rem = lin;
+            let mut off_idx: u64 = 0;
+            for (dd, &extent) in d.tile.iter().enumerate().rev() {
+                let c = rem % extent;
+                rem /= extent;
+                let global = offs[dd] + c;
+                if global >= d.dims[dd] {
+                    return Err(SimError::OutOfBounds {
+                        mem: d.offchip,
+                        index: global as i64,
+                        size: d.dims[dd],
+                    });
+                }
+                off_idx += global * d.strides[dd];
+            }
+            let li = (lin as usize) % d.local_len.max(1);
+            if d.load {
+                arena[d.local_base + li] = arena[d.offchip_base + off_idx as usize];
+            } else {
+                arena[d.offchip_base + off_idx as usize] = arena[d.local_base + li];
+            }
+        }
+        Ok(())
+    }
+}

@@ -26,6 +26,30 @@ pub struct Trace {
     pub(crate) events: Vec<TraceEvent>,
 }
 
+/// VCD time units per simulated cycle. Timestamps are quantized once, at
+/// this fixed timescale, with round-half-even — not truncated per event —
+/// so two events separated by a sub-cycle fraction can never swap order
+/// in the dump.
+const VCD_UNITS_PER_CYCLE: f64 = 1.0;
+
+/// Round-half-even (banker's rounding), then clamp into `u64`.
+///
+/// `f64::round` rounds ties away from zero, which quantizes the rising
+/// and falling edges of a `x.5`-cycle event inconsistently with its
+/// neighbours; half-even is the IEEE default and keeps dense schedules
+/// unbiased. (Implemented by hand: `f64::round_ties_even` needs Rust
+/// 1.77, above our MSRV.)
+fn quantize_cycle(t: f64) -> u64 {
+    let x = (t * VCD_UNITS_PER_CYCLE).max(0.0);
+    let rounded = x.round();
+    let quantized = if (x - x.trunc()).abs() == 0.5 && rounded % 2.0 != 0.0 {
+        rounded - 1.0
+    } else {
+        rounded
+    };
+    quantized as u64
+}
+
 impl Trace {
     /// All recorded events.
     pub fn events(&self) -> &[TraceEvent] {
@@ -80,11 +104,15 @@ impl Trace {
         }
         out.push_str("$upscope $end\n$enddefinitions $end\n");
         // Build change lists: +1 at start, -1 at end; busy while depth > 0.
+        // Both edges are quantized with the same fixed-timescale rounding
+        // and an event's fall is clamped to never precede its rise.
         let mut changes: Vec<(u64, usize, i32)> = Vec::new();
         for e in &self.events {
             let ci = ctrls.binary_search(&e.ctrl).expect("collected above");
-            changes.push((e.start.round() as u64, ci, 1));
-            changes.push((e.end.round().max(e.start.round()) as u64, ci, -1));
+            let start = quantize_cycle(e.start);
+            let end = quantize_cycle(e.end).max(start);
+            changes.push((start, ci, 1));
+            changes.push((end, ci, -1));
         }
         changes.sort_by_key(|&(t, ci, delta)| (t, ci, -delta));
         let mut depth = vec![0i32; ctrls.len()];
@@ -98,7 +126,9 @@ impl Trace {
             depth[ci] += delta;
             let new_level = depth[ci] > 0;
             if new_level != level[ci] {
-                if t != cur_t {
+                // Emitted times are strictly non-decreasing: the list is
+                // sorted, and equal-time changes share one `#t` record.
+                if t > cur_t {
                     let _ = writeln!(out, "#{t}");
                     cur_t = t;
                 }
@@ -167,5 +197,56 @@ mod tests {
         let (d, _) = design_and_trace();
         let vcd = Trace::default().to_vcd(&d);
         assert!(vcd.contains("$enddefinitions"));
+    }
+
+    #[test]
+    fn quantize_is_half_even() {
+        assert_eq!(quantize_cycle(0.5), 0);
+        assert_eq!(quantize_cycle(1.5), 2);
+        assert_eq!(quantize_cycle(2.5), 2);
+        assert_eq!(quantize_cycle(3.5), 4);
+        assert_eq!(quantize_cycle(2.4999), 2);
+        assert_eq!(quantize_cycle(2.5001), 3);
+        assert_eq!(quantize_cycle(-1.0), 0);
+    }
+
+    #[test]
+    fn sub_cycle_events_emit_non_decreasing_times() {
+        // Two events whose edges differ only by sub-cycle fractions:
+        // per-edge truncation used to be able to reorder these. The VCD
+        // `#t` records must be strictly increasing.
+        let (d, _) = design_and_trace();
+        let ctrls = d.controllers();
+        let trace = Trace {
+            events: vec![
+                TraceEvent {
+                    ctrl: ctrls[0],
+                    start: 0.4,
+                    end: 10.6,
+                },
+                TraceEvent {
+                    ctrl: ctrls[1],
+                    start: 10.4,
+                    end: 10.9,
+                },
+                TraceEvent {
+                    ctrl: ctrls[1],
+                    start: 12.5,
+                    end: 12.5,
+                },
+            ],
+        };
+        let vcd = trace.to_vcd(&d);
+        let times: Vec<u64> = vcd
+            .lines()
+            .filter_map(|l| l.strip_prefix('#').and_then(|t| t.parse().ok()))
+            .collect();
+        assert!(
+            times.windows(2).all(|w| w[0] < w[1]),
+            "VCD times not strictly increasing: {times:?}"
+        );
+        // A zero-width event at a tie point quantizes both edges to the
+        // same (even) time and emits no glitch.
+        assert!(!vcd.contains("#13\n"), "{vcd}");
     }
 }

@@ -1,8 +1,9 @@
 //! Property tests for the simulator: determinism, MetaPipe dominance,
-//! tile-transfer roundtrips and reduction equivalence on arbitrary data.
+//! tile-transfer roundtrips, reduction equivalence on arbitrary data, and
+//! the first-fit invariants of the shared DRAM channel timeline.
 
 use dhdl_core::{by, DType, Design, DesignBuilder};
-use dhdl_sim::{simulate, Bindings};
+use dhdl_sim::{simulate, Bindings, DramTimeline};
 use dhdl_target::Platform;
 use proptest::prelude::*;
 
@@ -108,5 +109,74 @@ proptest! {
             prop_assert!(e.end <= r.cycles + 1e-6);
         }
         prop_assert!(!r.trace().is_empty());
+    }
+
+    /// After any sequence of requests the timeline holds disjoint,
+    /// sorted, non-touching intervals — the structural invariant the
+    /// merge-on-insert coalescing must preserve.
+    #[test]
+    fn dram_intervals_stay_disjoint_and_sorted(
+        reqs in prop::collection::vec((0u32..2_000, 1u32..300), 1..64)
+    ) {
+        let mut t = DramTimeline::new();
+        for &(start, ideal) in &reqs {
+            t.request(start as f64, ideal as f64);
+        }
+        let busy = t.busy_intervals();
+        for &(s, e) in busy {
+            prop_assert!(s < e, "degenerate interval [{s}, {e})");
+        }
+        for w in busy.windows(2) {
+            // Strictly less: exactly-touching neighbours must have merged.
+            prop_assert!(
+                w[0].1 < w[1].0,
+                "intervals [{}, {}) and [{}, {}) touch or overlap",
+                w[0].0, w[0].1, w[1].0, w[1].1
+            );
+        }
+    }
+
+    /// First-fit placement never creates or destroys channel time: the
+    /// total reserved busy time equals the sum of the ideal occupancies,
+    /// and the transfer count matches the non-zero requests.
+    #[test]
+    fn dram_busy_cycles_are_conserved(
+        reqs in prop::collection::vec((0u32..2_000, 0u32..300), 1..64)
+    ) {
+        let mut t = DramTimeline::new();
+        for &(start, ideal) in &reqs {
+            t.request(start as f64, ideal as f64);
+        }
+        let ideal_sum: f64 = reqs.iter().map(|&(_, i)| i as f64).sum();
+        prop_assert!(
+            (t.busy_cycles() - ideal_sum).abs() < 1e-6,
+            "busy {} != sum of ideals {}",
+            t.busy_cycles(),
+            ideal_sum
+        );
+        let nonzero = reqs.iter().filter(|&&(_, i)| i > 0).count();
+        prop_assert_eq!(t.transfers(), nonzero);
+    }
+
+    /// Each reservation runs for at least its ideal duration from its
+    /// issue time (queueing only ever adds delay), and replaying the same
+    /// request sequence reproduces the timeline exactly.
+    #[test]
+    fn dram_requests_are_monotone_and_deterministic(
+        reqs in prop::collection::vec((0u32..2_000, 1u32..300), 1..64)
+    ) {
+        let mut t1 = DramTimeline::new();
+        let mut t2 = DramTimeline::new();
+        for &(start, ideal) in &reqs {
+            let d1 = t1.request(start as f64, ideal as f64);
+            let d2 = t2.request(start as f64, ideal as f64);
+            prop_assert!(
+                d1 >= ideal as f64,
+                "duration {d1} below ideal {ideal} for issue at {start}"
+            );
+            prop_assert_eq!(d1.to_bits(), d2.to_bits());
+        }
+        prop_assert_eq!(t1.busy_intervals(), t2.busy_intervals());
+        prop_assert_eq!(t1.transfers(), t2.transfers());
     }
 }

@@ -1,0 +1,87 @@
+//! Tape-vs-interpreter differential replay over the persisted corpus.
+//!
+//! Every design case in `tests/corpus/` is run through both simulator
+//! backends and the results compared bit-for-bit — outputs, cycles,
+//! transfers, profile and trace. Cases outside the tape-compilable
+//! subset fall back to the interpreter (by construction identical), but
+//! the suite requires that a healthy majority of the corpus genuinely
+//! compiles, so the tape path cannot silently rot behind the fallback.
+
+use std::path::Path;
+
+use dhdl_conformance::corpus::load_dir;
+use dhdl_conformance::CaseKind;
+use dhdl_sim::{compile, simulate, Bindings, CompileError};
+use dhdl_target::Platform;
+
+#[test]
+fn corpus_designs_are_bit_identical_across_backends() {
+    let cases = load_dir(Path::new("tests/corpus")).expect("corpus directory loads");
+    let platform = Platform::maia();
+    let mut compiled_cases = 0usize;
+    let mut design_cases = 0usize;
+    let mut failures = Vec::new();
+    for (path, case) in &cases {
+        let CaseKind::Design(spec) = &case.kind else {
+            continue;
+        };
+        design_cases += 1;
+        let design = match spec.build() {
+            Ok(d) => d,
+            Err(e) => {
+                failures.push(format!("{}: spec no longer builds: {e}", path.display()));
+                continue;
+            }
+        };
+        let (x, y) = spec.inputs();
+        let mut bindings = Bindings::new().bind("x", x);
+        if spec.uses_second() {
+            bindings = bindings.bind("y", y);
+        }
+        let compiled = match compile(&design, &platform) {
+            Ok(c) => c,
+            Err(CompileError::Unsupported(_)) => continue,
+        };
+        compiled_cases += 1;
+        match (
+            simulate(&design, &platform, &bindings),
+            compiled.run(&bindings),
+        ) {
+            (Ok(interp), Ok(tape)) => {
+                if let Some(diff) = interp.bit_diff(&tape) {
+                    failures.push(format!("{}: {diff}", path.display()));
+                }
+            }
+            (Err(a), Err(b)) => {
+                if a.to_string() != b.to_string() {
+                    failures.push(format!(
+                        "{}: error divergence: interp `{a}` vs tape `{b}`",
+                        path.display()
+                    ));
+                }
+            }
+            (Ok(_), Err(e)) => failures.push(format!(
+                "{}: tape failed where interpreter succeeded: {e}",
+                path.display()
+            )),
+            (Err(e), Ok(_)) => failures.push(format!(
+                "{}: interpreter failed where tape succeeded: {e}",
+                path.display()
+            )),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "backend divergence on corpus:\n{}",
+        failures.join("\n")
+    );
+    assert!(
+        design_cases >= 6,
+        "corpus unexpectedly small: {design_cases} design cases"
+    );
+    assert!(
+        compiled_cases * 2 >= design_cases,
+        "tape backend compiled only {compiled_cases}/{design_cases} corpus designs — \
+         the compilable subset regressed"
+    );
+}
