@@ -333,22 +333,39 @@ impl EstimateCache {
     /// empty cache when no file exists, the header does not match, or
     /// any line is malformed (a corrupt cache costs warm-up time, never
     /// correctness).
+    ///
+    /// A missing file is the normal cold start and stays silent; every
+    /// *rebuild* — a corrupt header, a mismatched model fingerprint, or
+    /// a malformed entry — emits one structured warning to stderr and
+    /// increments the `cache.l2.rebuild` obs counter, so silently
+    /// losing a warm cache is impossible.
     pub fn load(dir: &Path, fingerprint: u64) -> Self {
         let _span = dhdl_obs::span!("cache.load");
         let _t = dhdl_obs::histogram!("cache.disk.load_ns").timer();
         let cache = EstimateCache::new(fingerprint);
-        let Ok(text) = std::fs::read_to_string(Self::path_in(dir, fingerprint)) else {
-            return cache;
+        let path = Self::path_in(dir, fingerprint);
+        let rebuild = |reason: &str| {
+            eprintln!(
+                "warning: estimate cache {} {reason}; rebuilding from scratch",
+                path.display()
+            );
+            dhdl_obs::counter!("cache.l2.rebuild").incr();
+            EstimateCache::new(fingerprint)
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return cache,
+            Err(e) => return rebuild(&format!("is unreadable ({e})")),
         };
         let mut lines = text.lines();
         let expected_header = format!("{FORMAT_VERSION} {fingerprint:016x}");
         if lines.next() != Some(expected_header.as_str()) {
-            return cache;
+            return rebuild("has a corrupt header or mismatched model fingerprint");
         }
-        for line in lines {
+        for (n, line) in lines.enumerate() {
             if let Some(rest) = line.strip_prefix("p ") {
                 let Some((key, structural)) = parse_params_entry(rest) else {
-                    return EstimateCache::new(fingerprint);
+                    return rebuild(&format!("has a malformed memo entry at line {}", n + 2));
                 };
                 cache.insert_params(key, structural);
                 continue;
@@ -356,7 +373,7 @@ impl EstimateCache {
             let Some((key, est)) = parse_entry(line) else {
                 // One bad line invalidates the whole file: a partial
                 // write must not masquerade as a smaller valid cache.
-                return EstimateCache::new(fingerprint);
+                return rebuild(&format!("has a malformed entry at line {}", n + 2));
             };
             cache
                 .shard(key)
@@ -587,6 +604,48 @@ mod tests {
         assert_eq!(cache.stats().inserts, 0);
         // The failed lookups above were not made; these count as misses.
         assert_eq!(cache.get(1), None);
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_files_rebuild_with_a_counter() {
+        let dir = std::env::temp_dir().join(format!("dhdl-cache-rebuild-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dhdl_obs::init(dhdl_obs::Mode::Summary);
+        let rebuilds = || dhdl_obs::counter!("cache.l2.rebuild").get();
+
+        // Missing file: the normal cold start — no rebuild counted.
+        let before = rebuilds();
+        let cold = EstimateCache::load(&dir, 0xF00D);
+        assert!(cold.is_empty());
+        assert_eq!(rebuilds(), before);
+
+        // A valid file whose header carries a *different* fingerprint
+        // (stale model) at this fingerprint's path: rebuild, counted.
+        let other = EstimateCache::new(0xBEEF);
+        other.insert(1, est(10.0));
+        other.save(&dir).unwrap();
+        std::fs::rename(
+            EstimateCache::path_in(&dir, 0xBEEF),
+            EstimateCache::path_in(&dir, 0xF00D),
+        )
+        .unwrap();
+        let rebuilt = EstimateCache::load(&dir, 0xF00D);
+        assert!(rebuilt.is_empty());
+        assert_eq!(rebuilds(), before + 1);
+
+        // A torn entry line: rebuild, counted.
+        let cache = EstimateCache::new(0xF00D);
+        cache.insert(1, est(10.0));
+        cache.insert(2, est(20.0));
+        let path = cache.save(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 7]).unwrap();
+        let rebuilt = EstimateCache::load(&dir, 0xF00D);
+        assert!(rebuilt.is_empty(), "partial file must not half-load");
+        assert_eq!(rebuilds(), before + 2);
+
+        dhdl_obs::init(dhdl_obs::Mode::Off);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -69,9 +69,19 @@ impl Checkpoint {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let mut file = File::create(path)?;
-        file.write_all(header.join("\n").as_bytes())?;
-        file.write_all(b"\n")?;
+        // Write the fresh header to a temp file and rename it into
+        // place, so a kill during creation can never leave a file that
+        // *starts* like a checkpoint but has a torn header — the next
+        // open sees either the old file or a complete header.
+        let tmp = path.with_extension("ckpt.tmp");
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(header.join("\n").as_bytes())?;
+            file.write_all(b"\n")?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        let file = OpenOptions::new().append(true).open(path)?;
         Ok(Checkpoint {
             path: path.to_path_buf(),
             param_names,
@@ -127,29 +137,76 @@ fn header_lines(opts: &DseOptions, space_size: u128, param_names: &[String]) -> 
 
 /// Parse an existing checkpoint, returning its completed outcomes if the
 /// header matches the current sweep configuration.
+///
+/// Every way an existing file can disappoint is handled without a
+/// panic and *with a warning*: a missing file is simply fresh (silent),
+/// but a stale or corrupt header, an unreadable file, or torn/corrupt
+/// records are each reported to stderr and counted on the
+/// `checkpoint.stale` / `checkpoint.dropped_records` obs counters, then
+/// the sweep proceeds — a bad checkpoint only ever costs resume
+/// coverage, never the sweep itself.
 fn try_resume(
     path: &Path,
     header: &[String],
     param_names: &[String],
 ) -> Option<BTreeMap<usize, PointOutcome>> {
     let mut text = String::new();
-    File::open(path).ok()?.read_to_string(&mut text).ok()?;
+    match File::open(path) {
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
+        Err(e) => {
+            eprintln!(
+                "warning: checkpoint {} unreadable ({e}); starting a fresh sweep",
+                path.display()
+            );
+            dhdl_obs::counter!("checkpoint.stale").incr();
+            return None;
+        }
+        Ok(mut f) => {
+            if let Err(e) = f.read_to_string(&mut text) {
+                eprintln!(
+                    "warning: checkpoint {} unreadable ({e}); starting a fresh sweep",
+                    path.display()
+                );
+                dhdl_obs::counter!("checkpoint.stale").incr();
+                return None;
+            }
+        }
+    }
     let mut lines = text.lines();
     for expected in header {
         if lines.next() != Some(expected.as_str()) {
+            eprintln!(
+                "warning: checkpoint {} has a stale or corrupt header; starting a fresh sweep",
+                path.display()
+            );
+            dhdl_obs::counter!("checkpoint.stale").incr();
             return None;
         }
     }
     let mut done = BTreeMap::new();
-    for line in lines {
+    let mut dropped = 0usize;
+    while let Some(line) = lines.next() {
         // A torn trailing record (kill mid-write) parses as None; stop
-        // there and let the resumed run redo that point.
+        // there and let the resumed run redo that point. Anything after
+        // the tear is untrustworthy (the format is append-only), so it
+        // is dropped too — but loudly, never silently.
         match parse_record(line, param_names) {
             Some((idx, outcome)) => {
                 done.insert(idx, outcome);
             }
-            None => break,
+            None => {
+                dropped = lines.count() + 1;
+                break;
+            }
         }
+    }
+    if dropped > 0 {
+        eprintln!(
+            "warning: checkpoint {} is torn after {} records; dropping {dropped} trailing line(s) and re-evaluating those points",
+            path.display(),
+            done.len()
+        );
+        dhdl_obs::counter!("checkpoint.dropped_records").add(dropped as u64);
     }
     Some(done)
 }
@@ -346,6 +403,43 @@ mod tests {
         assert!(parse_record(torn.trim_end(), &names()).is_none());
         assert!(parse_record("X 1 nonsense", &names()).is_none());
         assert!(parse_record("", &names()).is_none());
+    }
+
+    #[test]
+    fn torn_and_corrupt_files_fall_back_without_panicking() {
+        let dir = std::env::temp_dir().join(format!("dhdl-ckpt-torn-{}", std::process::id()));
+        let path = dir.join("torn.ckpt");
+        let mut space = ParamSpace::new();
+        space.tile("tile", 64, 4, 64);
+        space.par("par", 8, 8);
+        let opts = DseOptions {
+            max_points: 10,
+            ..DseOptions::default()
+        };
+        // Two good records, then a mid-write kill leaves a torn third.
+        let ckpt = Checkpoint::open(&path, &space, &opts, 99).unwrap();
+        ckpt.append(0, &sample_point());
+        ckpt.append(1, &sample_point());
+        drop(ckpt);
+        let good = record_line(2, &sample_point(), &names()).unwrap();
+        let mut raw = std::fs::read_to_string(&path).unwrap();
+        raw.push_str(&good[..good.len() / 2]);
+        std::fs::write(&path, &raw).unwrap();
+        let resumed = Checkpoint::open(&path, &space, &opts, 99).unwrap();
+        assert_eq!(resumed.restored(), 2, "torn record dropped, rest kept");
+        drop(resumed);
+        // Outright garbage (binary noise) → fresh sweep, no panic.
+        std::fs::write(&path, [0u8, 159, 146, 150, b'\n', 0xFF]).unwrap();
+        let fresh = Checkpoint::open(&path, &space, &opts, 99).unwrap();
+        assert_eq!(fresh.restored(), 0);
+        drop(fresh);
+        // A truncated header (kill during creation before the rename
+        // discipline existed) → fresh sweep.
+        std::fs::write(&path, MAGIC.as_bytes()).unwrap();
+        let fresh = Checkpoint::open(&path, &space, &opts, 99).unwrap();
+        assert_eq!(fresh.restored(), 0);
+        fresh.remove();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

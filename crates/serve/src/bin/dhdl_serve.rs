@@ -1,0 +1,30 @@
+//! `dhdl-serve`: run the DSE-as-a-service server until SIGTERM/SIGINT
+//! (or a `shutdown` op), then drain gracefully and exit 0.
+//!
+//! All configuration comes from `DHDL_SERVE_*` environment knobs (see
+//! the README's environment table); `DHDL_OBS` arms the observability
+//! layer as everywhere else in the workspace.
+
+use dhdl_serve::{Server, ServerConfig};
+
+fn main() {
+    dhdl_obs::init_from_env();
+    dhdl_serve::signal::install_handlers();
+    let cfg = ServerConfig::from_env();
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dhdl-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("dhdl-serve: listening on {addr}"),
+        Err(e) => eprintln!("dhdl-serve: local_addr: {e}"),
+    }
+    if let Err(e) = server.run() {
+        eprintln!("dhdl-serve: server failed: {e}");
+        std::process::exit(1);
+    }
+    println!("dhdl-serve: drained cleanly");
+}

@@ -1,0 +1,165 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Every protocol message is `u32 big-endian payload length ‖ payload`.
+//! The length prefix is validated against a maximum *before* any payload
+//! allocation, so a hostile client declaring a 4 GiB frame costs the
+//! server a 4-byte read and a closed connection, never memory. Reads
+//! honor the socket's read timeout: a client that stalls mid-frame
+//! (slowloris) hits the timeout and the connection is dropped rather
+//! than wedging the worker thread.
+
+use std::io::{self, Read, Write};
+
+/// Default maximum accepted *request* frame size (1 MiB). Requests are
+/// small (an op plus a parameter map); anything bigger is hostile or
+/// broken.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Default maximum *response* frame size (64 MiB): sweep responses carry
+/// thousands of points. A response that would exceed this is reported as
+/// a structured error instead of a torn frame.
+pub const DEFAULT_MAX_RESPONSE: usize = 64 << 20;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly before a frame started.
+    Closed,
+    /// The declared length exceeds the configured maximum.
+    TooLarge {
+        /// Length the prefix declared.
+        declared: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+    /// The connection died or timed out mid-frame (torn frame, stalled
+    /// peer, reset).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::TooLarge { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds the {max}-byte limit")
+            }
+            FrameError::Io(e) => write!(f, "frame I/O failed: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Read one length-prefixed frame. [`FrameError::Closed`] means the peer
+/// shut down cleanly between frames; a torn prefix or payload is
+/// [`FrameError::Io`].
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>, FrameError> {
+    let mut prefix = [0u8; 4];
+    // Distinguish clean EOF (no bytes at all) from a torn prefix.
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Err(FrameError::Closed);
+                }
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "torn length prefix",
+                )));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let declared = u32::from_be_bytes(prefix) as usize;
+    if declared > max {
+        return Err(FrameError::TooLarge { declared, max });
+    }
+    let mut payload = vec![0u8; declared];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Write one length-prefixed frame.
+///
+/// # Errors
+///
+/// Returns an error if the payload exceeds `max` (the caller should send
+/// a structured error instead) or on any socket failure.
+pub fn write_frame(w: &mut impl Write, payload: &[u8], max: usize) -> io::Result<()> {
+    if payload.len() > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{}-byte frame exceeds the {max}-byte limit", payload.len()),
+        ));
+    }
+    let prefix = (payload.len() as u32).to_be_bytes();
+    w.write_all(&prefix)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello", DEFAULT_MAX_FRAME).unwrap();
+        write_frame(&mut buf, b"", DEFAULT_MAX_FRAME).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap(), b"");
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let r = read_frame(&mut &buf[..], 1024);
+        match r {
+            Err(FrameError::TooLarge { declared, max }) => {
+                assert_eq!(declared, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_prefix_and_torn_payload_are_io_errors() {
+        assert!(matches!(
+            read_frame(&mut &[0u8, 0][..], 1024),
+            Err(FrameError::Io(_))
+        ));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello", 1024).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(matches!(
+            read_frame(&mut &buf[..], 1024),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_write_is_refused() {
+        let mut buf = Vec::new();
+        assert!(write_frame(&mut buf, &[0u8; 32], 16).is_err());
+        assert!(
+            buf.is_empty(),
+            "refused frame must not be partially written"
+        );
+    }
+}

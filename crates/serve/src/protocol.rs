@@ -1,0 +1,505 @@
+//! The request/response vocabulary of the serving protocol.
+//!
+//! One request frame carries one JSON object with an `op` plus common
+//! header fields; one response frame carries one JSON object with a
+//! `status`. Every malformed input maps to a *structured* error response
+//! ([`ProtoError`]) — the server never answers garbage with silence or a
+//! dead socket unless framing itself is broken.
+//!
+//! | `op` | payload | reply |
+//! |---|---|---|
+//! | `health` | — | server state (`accepting`/`draining`) |
+//! | `stats` | — | request/admission/cache counters |
+//! | `submit` | `bench` | design validated; legal-space size |
+//! | `estimate` | `bench`, `params` | bit-exact estimate for one point |
+//! | `sweep` | `bench`, `points`, `seed` | full DSE result (points + front) |
+//! | `shutdown` | — | begins graceful drain |
+//!
+//! Common header fields: `tenant` (admission-queue key, default
+//! `"anon"`), `priority` (0 = sheddable … 2 = critical, default 1),
+//! `deadline_ms` (propagated into [`dhdl_dse::DseOptions::deadline`];
+//! expired work is cancelled, never silently completed), and `key` (an
+//! idempotency key: retried sweeps bearing the same key resume from the
+//! server-side checkpoint instead of restarting).
+//!
+//! ## Bit-exact floats
+//!
+//! Cycle counts and area fields cross the wire as 16-hex-digit IEEE-754
+//! bit patterns ([`bits_str`]/[`parse_bits`]), never as JSON numbers, so
+//! a sweep fetched through the server is *byte-identical* to one run
+//! in-process — the chaos suite asserts exactly that.
+
+use std::collections::BTreeMap;
+
+use dhdl_core::ParamValues;
+use dhdl_dse::DesignPoint;
+use dhdl_target::AreaReport;
+
+use crate::json::Json;
+
+/// Protocol version, echoed in `health` responses.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Render an `f64` as its 16-hex-digit IEEE-754 bit pattern.
+pub fn bits_str(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Parse a 16-hex-digit IEEE-754 bit pattern back to the exact `f64`.
+pub fn parse_bits(s: &str) -> Option<f64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// A structured protocol failure: a stable machine-readable `code` plus
+/// a human-readable message. Rendered as a `status: "error"` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Stable error code (`bad_json`, `bad_request`, `unknown_bench`, …).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtoError {
+    /// Build an error with `code` and `message`.
+    pub fn new(code: &'static str, message: impl Into<String>) -> Self {
+        ProtoError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+/// Common request header fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Admission-queue key; each tenant gets an independent bounded
+    /// queue so one noisy client cannot starve the rest.
+    pub tenant: String,
+    /// 0 = sheddable, 1 = normal, 2 = critical. Under load the server
+    /// sheds priority-0 sweeps first.
+    pub priority: u8,
+    /// Request deadline in milliseconds, propagated into
+    /// [`dhdl_dse::DseOptions::deadline`].
+    pub deadline_ms: Option<u64>,
+    /// Idempotency key: a retried sweep with the same key resumes from
+    /// the server-side checkpoint written by the interrupted attempt.
+    pub key: Option<String>,
+}
+
+impl Default for Header {
+    fn default() -> Self {
+        Header {
+            tenant: "anon".to_string(),
+            priority: 1,
+            deadline_ms: None,
+            key: None,
+        }
+    }
+}
+
+/// The operation a request asks for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Liveness/state probe.
+    Health,
+    /// Server counters snapshot.
+    Stats,
+    /// Validate a design submission (benchmark metaprogram by name) and
+    /// report its legal-space size.
+    Submit {
+        /// Benchmark name (see `dhdl_apps::by_name`).
+        bench: String,
+    },
+    /// Estimate one design point.
+    Estimate {
+        /// Benchmark name.
+        bench: String,
+        /// Parameter assignment.
+        params: ParamValues,
+    },
+    /// Run a DSE sweep.
+    Sweep {
+        /// Benchmark name.
+        bench: String,
+        /// Points to sample (capped by the server's configured maximum).
+        points: usize,
+        /// Sampling seed.
+        seed: u64,
+    },
+    /// Begin graceful drain (stop accepting, finish in-flight work,
+    /// flush caches, exit).
+    Shutdown,
+}
+
+impl Op {
+    /// The op name on the wire.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Health => "health",
+            Op::Stats => "stats",
+            Op::Submit { .. } => "submit",
+            Op::Estimate { .. } => "estimate",
+            Op::Sweep { .. } => "sweep",
+            Op::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Common header fields.
+    pub header: Header,
+    /// The requested operation.
+    pub op: Op,
+}
+
+impl Request {
+    /// A request for `op` with default header fields.
+    pub fn new(op: Op) -> Self {
+        Request {
+            header: Header::default(),
+            op,
+        }
+    }
+
+    /// Parse a request frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`ProtoError`] (`bad_json`, `bad_request`)
+    /// on any malformation; the server renders it as an error response.
+    pub fn parse(payload: &[u8]) -> Result<Request, ProtoError> {
+        let v = Json::parse(payload).map_err(|e| ProtoError::new("bad_json", e.to_string()))?;
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| ProtoError::new("bad_request", "request must be a JSON object"))?;
+        let op_name = obj
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ProtoError::new("bad_request", "missing string field `op`"))?;
+        let header = Header {
+            tenant: obj
+                .get("tenant")
+                .and_then(Json::as_str)
+                .unwrap_or("anon")
+                .to_string(),
+            priority: match obj.get("priority") {
+                None => 1,
+                Some(p) => {
+                    let p = p.as_u64().ok_or_else(|| {
+                        ProtoError::new("bad_request", "`priority` must be an integer 0..=2")
+                    })?;
+                    u8::try_from(p.min(2)).expect("clamped")
+                }
+            },
+            deadline_ms: match obj.get("deadline_ms") {
+                None => None,
+                Some(d) => Some(d.as_u64().ok_or_else(|| {
+                    ProtoError::new(
+                        "bad_request",
+                        "`deadline_ms` must be a non-negative integer",
+                    )
+                })?),
+            },
+            key: obj.get("key").and_then(Json::as_str).map(str::to_string),
+        };
+        let bench = |field: &str| -> Result<String, ProtoError> {
+            obj.get(field)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| {
+                    ProtoError::new("bad_request", format!("missing string field `{field}`"))
+                })
+        };
+        let op = match op_name {
+            "health" => Op::Health,
+            "stats" => Op::Stats,
+            "shutdown" => Op::Shutdown,
+            "submit" => Op::Submit {
+                bench: bench("bench")?,
+            },
+            "estimate" => {
+                let params_obj = obj
+                    .get("params")
+                    .and_then(Json::as_obj)
+                    .ok_or_else(|| ProtoError::new("bad_request", "missing object `params`"))?;
+                Op::Estimate {
+                    bench: bench("bench")?,
+                    params: params_from_json(params_obj)?,
+                }
+            }
+            "sweep" => Op::Sweep {
+                bench: bench("bench")?,
+                points: obj
+                    .get("points")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| ProtoError::new("bad_request", "missing integer `points`"))?
+                    as usize,
+                seed: obj.get("seed").and_then(Json::as_u64).unwrap_or(0xD5E),
+            },
+            other => {
+                return Err(ProtoError::new(
+                    "unknown_op",
+                    format!("unrecognized op `{other}`"),
+                ))
+            }
+        };
+        Ok(Request { header, op })
+    }
+
+    /// Render this request as a frame payload.
+    pub fn render(&self) -> Vec<u8> {
+        let mut map = BTreeMap::new();
+        map.insert("op".to_string(), Json::Str(self.op.name().to_string()));
+        map.insert("tenant".to_string(), Json::Str(self.header.tenant.clone()));
+        map.insert(
+            "priority".to_string(),
+            Json::Num(f64::from(self.header.priority)),
+        );
+        if let Some(d) = self.header.deadline_ms {
+            map.insert("deadline_ms".to_string(), Json::Num(d as f64));
+        }
+        if let Some(k) = &self.header.key {
+            map.insert("key".to_string(), Json::Str(k.clone()));
+        }
+        match &self.op {
+            Op::Health | Op::Stats | Op::Shutdown => {}
+            Op::Submit { bench } => {
+                map.insert("bench".to_string(), Json::Str(bench.clone()));
+            }
+            Op::Estimate { bench, params } => {
+                map.insert("bench".to_string(), Json::Str(bench.clone()));
+                map.insert("params".to_string(), params_to_json(params));
+            }
+            Op::Sweep {
+                bench,
+                points,
+                seed,
+            } => {
+                map.insert("bench".to_string(), Json::Str(bench.clone()));
+                map.insert("points".to_string(), Json::Num(*points as f64));
+                map.insert("seed".to_string(), Json::Num(*seed as f64));
+            }
+        }
+        Json::Obj(map).render().into_bytes()
+    }
+}
+
+/// Render a parameter assignment as a JSON object.
+pub fn params_to_json(params: &ParamValues) -> Json {
+    Json::Obj(
+        params
+            .iter()
+            .map(|(name, value)| (name.to_string(), Json::Num(value as f64)))
+            .collect(),
+    )
+}
+
+/// Parse a parameter assignment from a JSON object.
+///
+/// # Errors
+///
+/// Returns `bad_request` when any value is not a small non-negative
+/// integer.
+pub fn params_from_json(obj: &BTreeMap<String, Json>) -> Result<ParamValues, ProtoError> {
+    let mut params = ParamValues::new();
+    for (name, value) in obj {
+        let v = value.as_u64().ok_or_else(|| {
+            ProtoError::new(
+                "bad_request",
+                format!("parameter `{name}` must be a non-negative integer"),
+            )
+        })?;
+        params.set(name, v);
+    }
+    Ok(params)
+}
+
+/// Render one evaluated design point with bit-exact floats.
+pub fn point_to_json(p: &DesignPoint) -> Json {
+    Json::obj([
+        ("params", params_to_json(&p.params)),
+        ("cycles", Json::Str(bits_str(p.cycles))),
+        ("alms", Json::Str(bits_str(p.area.alms))),
+        ("regs", Json::Str(bits_str(p.area.regs))),
+        ("dsps", Json::Str(bits_str(p.area.dsps))),
+        ("brams", Json::Str(bits_str(p.area.brams))),
+        ("valid", Json::Bool(p.valid)),
+    ])
+}
+
+/// Parse one evaluated design point (the inverse of [`point_to_json`]).
+pub fn point_from_json(v: &Json) -> Option<DesignPoint> {
+    let bits = |field: &str| v.get(field).and_then(Json::as_str).and_then(parse_bits);
+    Some(DesignPoint {
+        params: params_from_json(v.get("params")?.as_obj()?).ok()?,
+        cycles: bits("cycles")?,
+        area: AreaReport {
+            alms: bits("alms")?,
+            regs: bits("regs")?,
+            dsps: bits("dsps")?,
+            brams: bits("brams")?,
+        },
+        valid: v.get("valid")?.as_bool()?,
+    })
+}
+
+/// Build a `status: "ok"` response with extra `fields`.
+pub fn ok_response<I: IntoIterator<Item = (&'static str, Json)>>(fields: I) -> Json {
+    let mut map: BTreeMap<String, Json> = fields
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    map.insert("status".to_string(), Json::Str("ok".to_string()));
+    Json::Obj(map)
+}
+
+/// Build a `status: "error"` response from a [`ProtoError`].
+pub fn error_response(err: &ProtoError) -> Json {
+    Json::obj([
+        ("status", Json::Str("error".to_string())),
+        ("code", Json::Str(err.code.to_string())),
+        ("message", Json::Str(err.message.clone())),
+    ])
+}
+
+/// Build a `status: "rejected"` admission response (the 429 analogue):
+/// the request was *not* executed; the client should back off for at
+/// least `retry_after_ms` and retry.
+pub fn rejected_response(code: &str, retry_after_ms: u64) -> Json {
+    Json::obj([
+        ("status", Json::Str("rejected".to_string())),
+        ("code", Json::Str(code.to_string())),
+        ("retry_after_ms", Json::Num(retry_after_ms as f64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::new(Op::Health),
+            Request::new(Op::Stats),
+            Request::new(Op::Shutdown),
+            Request {
+                header: Header {
+                    tenant: "team-a".into(),
+                    priority: 0,
+                    deadline_ms: Some(250),
+                    key: Some("sweep-17".into()),
+                },
+                op: Op::Sweep {
+                    bench: "gemm".into(),
+                    points: 300,
+                    seed: 42,
+                },
+            },
+            Request::new(Op::Estimate {
+                bench: "dotproduct".into(),
+                params: ParamValues::new().with("tile", 64).with("par", 4),
+            }),
+            Request::new(Op::Submit {
+                bench: "gda".into(),
+            }),
+        ];
+        for req in &reqs {
+            let parsed = Request::parse(&req.render()).unwrap();
+            assert_eq!(&parsed, req);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_yield_structured_errors() {
+        for (payload, code) in [
+            (&b"not json"[..], "bad_json"),
+            (b"[1,2]", "bad_request"),
+            (b"{}", "bad_request"),
+            (br#"{"op":42}"#, "bad_request"),
+            (br#"{"op":"warp"}"#, "unknown_op"),
+            (br#"{"op":"sweep"}"#, "bad_request"),
+            (br#"{"op":"sweep","bench":"gemm"}"#, "bad_request"),
+            (br#"{"op":"estimate","bench":"gemm"}"#, "bad_request"),
+            (
+                br#"{"op":"estimate","bench":"g","params":{"tile":1.5}}"#,
+                "bad_request",
+            ),
+            (br#"{"op":"health","priority":"high"}"#, "bad_request"),
+            (br#"{"op":"health","deadline_ms":-1}"#, "bad_request"),
+        ] {
+            let err = Request::parse(payload).unwrap_err();
+            assert_eq!(err.code, code, "{payload:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn float_bits_round_trip_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            f64::MIN_POSITIVE / 2.0,
+            1e300,
+            f64::NAN,
+            f64::INFINITY,
+        ] {
+            let s = bits_str(v);
+            let back = parse_bits(&s).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v}");
+        }
+        assert_eq!(parse_bits("xyz"), None);
+        assert_eq!(parse_bits("00"), None);
+    }
+
+    #[test]
+    fn points_round_trip_bit_exactly() {
+        let p = DesignPoint {
+            params: ParamValues::new().with("tile", 64).with("par", 8),
+            cycles: 123456.75,
+            area: AreaReport {
+                alms: -0.0,
+                regs: 1e300,
+                dsps: 3.25,
+                brams: f64::MIN_POSITIVE,
+            },
+            valid: true,
+        };
+        let back = point_from_json(&point_to_json(&p)).unwrap();
+        assert_eq!(back.cycles.to_bits(), p.cycles.to_bits());
+        assert_eq!(back.area.alms.to_bits(), p.area.alms.to_bits());
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn response_builders_set_status() {
+        assert_eq!(
+            ok_response([]).get("status").and_then(Json::as_str),
+            Some("ok")
+        );
+        let e = error_response(&ProtoError::new("bad_json", "oops"));
+        assert_eq!(e.get("status").and_then(Json::as_str), Some("error"));
+        assert_eq!(e.get("code").and_then(Json::as_str), Some("bad_json"));
+        let r = rejected_response("overloaded", 25);
+        assert_eq!(r.get("status").and_then(Json::as_str), Some("rejected"));
+        assert_eq!(r.get("retry_after_ms").and_then(Json::as_u64), Some(25));
+    }
+
+    #[test]
+    fn priority_is_clamped_not_rejected() {
+        let req = Request::parse(br#"{"op":"health","priority":9}"#).unwrap();
+        assert_eq!(req.header.priority, 2);
+    }
+}

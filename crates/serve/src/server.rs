@@ -1,0 +1,745 @@
+//! The threaded TCP server: accept loop, per-connection workers, op
+//! dispatch, and the graceful-drain sequence.
+//!
+//! One thread per connection reads length-prefixed request frames,
+//! dispatches onto the shared estimator + shard-striped
+//! [`EstimateCache`], and answers with one response frame per request.
+//! Robustness is layered:
+//!
+//! * **framing** — per-connection read/write timeouts and a max request
+//!   frame size enforced before allocation ([`crate::frame`]);
+//! * **admission** — bounded per-tenant queues, a global cap, and the
+//!   degradation ladder ([`crate::admission`]); rejected work gets an
+//!   explicit 429-style response with `retry_after_ms`;
+//! * **deadlines** — `deadline_ms` headers propagate into
+//!   [`DseOptions::deadline`]; expired sweeps stop claiming points and
+//!   return flagged `truncated` with their checkpoint retained, never
+//!   silently completed;
+//! * **idempotency** — a sweep's `key` header names a server-side
+//!   checkpoint, so a client retry after a torn connection resumes the
+//!   interrupted sweep instead of restarting it;
+//! * **chaos** — the connection-level [`ChaosConfig`] and the
+//!   evaluation-level [`FaultInjector`] can be armed from the
+//!   environment; the chaos suite asserts results stay bit-identical.
+//!
+//! Drain (SIGTERM, SIGINT, or the `shutdown` op) stops the accept loop,
+//! rejects new work with `draining`, lets in-flight connections finish
+//! (bounded by their read timeouts and sweep deadlines), then flushes
+//! the estimate cache and obs sinks before returning.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dhdl_apps::Benchmark;
+use dhdl_core::{structural_hash, Fnv64, ParamValues};
+use dhdl_dse::{
+    explore, model_fingerprint, params_key, with_silent_panics, CachedModel, CostModel, DseOptions,
+    EstimateCache, FaultConfig, FaultInjector, LegalSpace,
+};
+use dhdl_estimate::{Estimate, Estimator};
+use dhdl_target::Platform;
+
+use crate::admission::{Admission, AdmissionConfig, LoadLevel, WorkKind};
+use crate::chaos::ChaosConfig;
+use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME, DEFAULT_MAX_RESPONSE};
+use crate::json::Json;
+use crate::protocol::{
+    bits_str, error_response, ok_response, params_to_json, point_to_json, rejected_response,
+    Header, Op, ProtoError, Request, PROTOCOL_VERSION,
+};
+use crate::signal;
+
+/// Everything configurable about a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`DHDL_SERVE_ADDR`; `127.0.0.1:0` picks a port).
+    pub addr: String,
+    /// Admission bounds (`DHDL_SERVE_QUEUE_CAP` sets the per-tenant cap).
+    pub admission: AdmissionConfig,
+    /// Connection-level chaos (`DHDL_SERVE_CHAOS`).
+    pub chaos: ChaosConfig,
+    /// Evaluation-level fault injection (`DHDL_SERVE_FAULTS`).
+    pub faults: Option<FaultConfig>,
+    /// Per-connection socket read timeout: an idle or stalled peer is
+    /// disconnected after this long (`DHDL_SERVE_TIMEOUT_MS`).
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Maximum accepted request frame.
+    pub max_frame: usize,
+    /// Maximum response frame; larger responses become a structured
+    /// `response_too_large` error.
+    pub max_response: usize,
+    /// Cap on `points` accepted by a sweep request
+    /// (`DHDL_SERVE_MAX_POINTS`).
+    pub max_sweep_points: usize,
+    /// Worker threads per sweep (`0` = all cores).
+    pub sweep_threads: usize,
+    /// Default deadline applied when a request carries none
+    /// (`DHDL_SERVE_DEADLINE_MS`; `None` = unbounded).
+    pub default_deadline: Option<Duration>,
+    /// Directory for idempotency-key checkpoints
+    /// (`DHDL_SERVE_CKPT_DIR`).
+    pub checkpoint_dir: PathBuf,
+    /// When set, the estimate cache loads from and flushes to this
+    /// directory (`DHDL_SERVE_CACHE_DIR`).
+    pub cache_dir: Option<PathBuf>,
+    /// Estimator calibration sample count (kept small so startup is
+    /// fast; calibration is deterministic in the seed).
+    pub calib_samples: usize,
+    /// Estimator calibration seed.
+    pub calib_seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7436".to_string(),
+            admission: AdmissionConfig::default(),
+            chaos: ChaosConfig::disabled(),
+            faults: None,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_frame: DEFAULT_MAX_FRAME,
+            max_response: DEFAULT_MAX_RESPONSE,
+            max_sweep_points: 2_000,
+            sweep_threads: 0,
+            default_deadline: None,
+            checkpoint_dir: std::env::temp_dir().join("dhdl-serve-ckpt"),
+            cache_dir: None,
+            calib_samples: 20,
+            calib_seed: 7,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Build a config from the `DHDL_SERVE_*` environment knobs (see the
+    /// README's environment table); unset knobs keep their defaults.
+    pub fn from_env() -> Self {
+        let mut cfg = ServerConfig::default();
+        let get = |k: &str| std::env::var(k).ok();
+        if let Some(v) = get("DHDL_SERVE_ADDR") {
+            cfg.addr = v;
+        }
+        let parse_usize = |k: &str, into: &mut usize| {
+            if let Some(v) = get(k) {
+                match v.parse() {
+                    Ok(n) => *into = n,
+                    Err(_) => eprintln!("warning: {k}={v} is not an integer; keeping default"),
+                }
+            }
+        };
+        parse_usize("DHDL_SERVE_QUEUE_CAP", &mut cfg.admission.tenant_cap);
+        parse_usize("DHDL_SERVE_GLOBAL_CAP", &mut cfg.admission.global_cap);
+        parse_usize("DHDL_SERVE_SWEEP_CAP", &mut cfg.admission.sweep_cap);
+        parse_usize("DHDL_SERVE_MAX_POINTS", &mut cfg.max_sweep_points);
+        parse_usize("DHDL_SERVE_THREADS", &mut cfg.sweep_threads);
+        if let Some(v) = get("DHDL_SERVE_DEADLINE_MS") {
+            match v.parse() {
+                Ok(ms) => cfg.default_deadline = Some(Duration::from_millis(ms)),
+                Err(_) => eprintln!("warning: DHDL_SERVE_DEADLINE_MS={v} is not an integer"),
+            }
+        }
+        if let Some(v) = get("DHDL_SERVE_TIMEOUT_MS") {
+            match v.parse() {
+                Ok(ms) => {
+                    cfg.read_timeout = Duration::from_millis(ms);
+                    cfg.write_timeout = Duration::from_millis(ms);
+                }
+                Err(_) => eprintln!("warning: DHDL_SERVE_TIMEOUT_MS={v} is not an integer"),
+            }
+        }
+        if let Some(v) = get("DHDL_SERVE_CKPT_DIR") {
+            cfg.checkpoint_dir = PathBuf::from(v);
+        }
+        if let Some(v) = get("DHDL_SERVE_CACHE_DIR") {
+            cfg.cache_dir = Some(PathBuf::from(v));
+        }
+        cfg.chaos = ChaosConfig::from_env();
+        if let Some(v) = get("DHDL_SERVE_FAULTS") {
+            match parse_faults(&v) {
+                Ok(f) => cfg.faults = Some(f),
+                Err(e) => eprintln!("warning: DHDL_SERVE_FAULTS: {e}; faults stay off"),
+            }
+        }
+        cfg
+    }
+}
+
+/// Parse the `DHDL_SERVE_FAULTS` knob:
+/// `"panic=0.05,nan=0.01,spike=0.02,spike_ms=5,seed=9,hard=1"`.
+///
+/// # Errors
+///
+/// Returns a description of the offending clause.
+pub fn parse_faults(s: &str) -> Result<FaultConfig, String> {
+    let mut cfg = FaultConfig::default();
+    for clause in s.split(',').filter(|c| !c.trim().is_empty()) {
+        let (k, v) = clause
+            .split_once('=')
+            .ok_or_else(|| format!("fault clause `{clause}` is not key=value"))?;
+        let rate = || -> Result<f64, String> {
+            let r: f64 = v
+                .parse()
+                .map_err(|_| format!("fault rate `{v}` is not a number"))?;
+            if !(0.0..=1.0).contains(&r) {
+                return Err(format!("fault rate `{v}` outside [0,1]"));
+            }
+            Ok(r)
+        };
+        match k.trim() {
+            "panic" => cfg.panic_rate = rate()?,
+            "nan" => cfg.nan_rate = rate()?,
+            "spike" => cfg.spike_rate = rate()?,
+            "spike_ms" => {
+                cfg.spike = Duration::from_millis(
+                    v.parse()
+                        .map_err(|_| format!("spike_ms `{v}` is not an integer"))?,
+                )
+            }
+            "seed" => {
+                cfg.seed = v
+                    .parse()
+                    .map_err(|_| format!("seed `{v}` is not an integer"))?
+            }
+            "hard" => cfg.transient = v != "1" && v != "true",
+            other => return Err(format!("unknown fault key `{other}`")),
+        }
+    }
+    Ok(cfg)
+}
+
+#[derive(Debug, Default)]
+struct ServeCounters {
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+    estimates: AtomicU64,
+    estimate_cache_hits: AtomicU64,
+    sweeps: AtomicU64,
+    degraded_hits: AtomicU64,
+    chaos_drops: AtomicU64,
+    chaos_truncations: AtomicU64,
+    chaos_stalls: AtomicU64,
+}
+
+struct State {
+    cfg: ServerConfig,
+    admission: Admission,
+    estimator: Estimator,
+    cache: EstimateCache,
+    salts: Mutex<HashMap<String, u64>>,
+    draining: AtomicBool,
+    counters: ServeCounters,
+}
+
+impl State {
+    /// The params-key salt for `bench` — FNV of its name, dataset and the
+    /// structural hash of its default-parameter design, memoized per
+    /// benchmark. The same derivation an in-process harness uses, so a
+    /// cache warmed through the server is valid for in-process sweeps
+    /// and vice versa.
+    fn salt_for(&self, bench: &dyn Benchmark) -> u64 {
+        let mut salts = self.salts.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(&s) = salts.get(bench.name()) {
+            return s;
+        }
+        let mut h = Fnv64::new();
+        h.write(bench.name().as_bytes());
+        h.write(bench.dataset_desc().as_bytes());
+        match bench.build(&bench.default_params()) {
+            Ok(design) => h.write_u64(structural_hash(&design)),
+            Err(_) => h.write_u64(0),
+        }
+        let s = h.finish();
+        salts.insert(bench.name().to_string(), s);
+        s
+    }
+
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst) || signal::drain_requested()
+    }
+}
+
+/// The serving process: a bound listener plus the shared estimator,
+/// cache and admission state.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Calibrate the estimator, load (or create) the estimate cache, and
+    /// bind the listen socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket bind failure.
+    pub fn bind(cfg: ServerConfig) -> io::Result<Server> {
+        let _span = dhdl_obs::span!("serve.bind");
+        let estimator =
+            Estimator::calibrate_with(&Platform::maia(), cfg.calib_samples, cfg.calib_seed).0;
+        let fp = model_fingerprint(&estimator);
+        let cache = match &cfg.cache_dir {
+            Some(dir) => EstimateCache::load(dir, fp),
+            None => EstimateCache::new(fp),
+        };
+        let _ = std::fs::create_dir_all(&cfg.checkpoint_dir);
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let admission = Admission::new(cfg.admission);
+        Ok(Server {
+            listener,
+            state: Arc::new(State {
+                cfg,
+                admission,
+                estimator,
+                cache,
+                salts: Mutex::new(HashMap::new()),
+                draining: AtomicBool::new(false),
+                counters: ServeCounters::default(),
+            }),
+        })
+    }
+
+    /// The bound listen address (resolves `:0` ports).
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket introspection failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Bind and run on a background thread; returns the bound address
+    /// and the join handle (which yields when the server drains).
+    ///
+    /// # Errors
+    ///
+    /// Returns any bind failure.
+    pub fn spawn(
+        cfg: ServerConfig,
+    ) -> io::Result<(SocketAddr, std::thread::JoinHandle<io::Result<()>>)> {
+        let server = Server::bind(cfg)?;
+        let addr = server.local_addr()?;
+        let handle = std::thread::spawn(move || server.run());
+        Ok((addr, handle))
+    }
+
+    /// Serve until drain is requested (SIGTERM/SIGINT, or a `shutdown`
+    /// op), then drain gracefully: stop accepting, let in-flight
+    /// connections finish, flush the cache and obs sinks.
+    ///
+    /// # Errors
+    ///
+    /// Returns fatal listener failures; per-connection failures are
+    /// handled (and counted) without stopping the server.
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut conn_seq = 0u64;
+        while !self.state.draining() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let state = Arc::clone(&self.state);
+                    let id = conn_seq;
+                    conn_seq += 1;
+                    conns.push(std::thread::spawn(move || handle_conn(&state, stream, id)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            // Reap finished connection threads so a long-lived server
+            // does not accumulate handles.
+            conns.retain(|h| !h.is_finished());
+        }
+        // Drain: reject new work, let in-flight connections wind down
+        // (bounded by read timeouts and sweep deadlines), then flush.
+        self.state.admission.drain();
+        for h in conns {
+            let _ = h.join();
+        }
+        if let Some(dir) = &self.state.cfg.cache_dir {
+            if let Err(e) = self.state.cache.save(dir) {
+                eprintln!("warning: estimate cache flush failed: {e}");
+            }
+        }
+        let _ = dhdl_obs::finish("serve");
+        Ok(())
+    }
+}
+
+/// One connection: read a frame, apply the chaos plan, dispatch, write a
+/// frame; repeat until the peer closes, errors, or chaos kills it.
+fn handle_conn(state: &State, mut stream: TcpStream, conn_id: u64) {
+    let _ = stream.set_read_timeout(Some(state.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(state.cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut frame_idx = 0u64;
+    loop {
+        let payload = match read_frame(&mut stream, state.cfg.max_frame) {
+            Ok(p) => p,
+            Err(FrameError::Closed) => return,
+            Err(FrameError::TooLarge { declared, max }) => {
+                // The oversized payload still sits in the socket; answer
+                // with a structured error, then close (the stream is no
+                // longer frame-aligned).
+                state
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let err = ProtoError::new(
+                    "frame_too_large",
+                    format!("{declared}-byte frame exceeds the {max}-byte limit"),
+                );
+                let _ = respond(&mut stream, &error_response(&err), state.cfg.max_response);
+                return;
+            }
+            Err(FrameError::Io(_)) => {
+                // Torn frame, reset, or a stalled peer that hit the read
+                // timeout: nothing sane to answer on this socket.
+                return;
+            }
+        };
+        let plan = state.cfg.chaos.plan(conn_id, frame_idx);
+        frame_idx += 1;
+        if plan.drop_conn {
+            // Injected connection death *before* execution: the client
+            // sees a dead socket and retries; no work ran, so a retried
+            // non-idempotent request is still executed exactly once.
+            state.counters.chaos_drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        state.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let response = match Request::parse(&payload) {
+            Ok(req) => dispatch(state, &req),
+            Err(e) => {
+                state
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                error_response(&e)
+            }
+        };
+        if plan.stall {
+            state.counters.chaos_stalls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(state.cfg.chaos.stall);
+        }
+        if plan.truncate {
+            // Injected torn response: correct length prefix, half the
+            // payload, then close. The client must treat this as a
+            // failed attempt, not a short response.
+            state
+                .counters
+                .chaos_truncations
+                .fetch_add(1, Ordering::Relaxed);
+            let bytes = response.render().into_bytes();
+            let _ = stream.write_all(&(bytes.len() as u32).to_be_bytes());
+            let _ = stream.write_all(&bytes[..bytes.len() / 2]);
+            return;
+        }
+        if respond(&mut stream, &response, state.cfg.max_response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Render and write one response frame, downgrading oversized responses
+/// to a structured `response_too_large` error.
+fn respond(stream: &mut TcpStream, response: &Json, max: usize) -> io::Result<()> {
+    let bytes = response.render().into_bytes();
+    if bytes.len() > max {
+        let err = ProtoError::new(
+            "response_too_large",
+            format!("{}-byte response exceeds the {max}-byte limit", bytes.len()),
+        );
+        return write_frame(stream, error_response(&err).render().as_bytes(), max);
+    }
+    write_frame(stream, &bytes, max)
+}
+
+fn dispatch(state: &State, req: &Request) -> Json {
+    let t0 = Instant::now();
+    let resp = match &req.op {
+        Op::Health => handle_health(state),
+        Op::Stats => handle_stats(state),
+        Op::Shutdown => {
+            state.draining.store(true, Ordering::SeqCst);
+            state.admission.drain();
+            ok_response([("state", Json::Str("draining".to_string()))])
+        }
+        Op::Submit { bench } => handle_submit(state, bench),
+        Op::Estimate { bench, params } => handle_estimate(state, &req.header, bench, params, t0),
+        Op::Sweep {
+            bench,
+            points,
+            seed,
+        } => handle_sweep(state, &req.header, bench, *points, *seed),
+    };
+    let us = t0.elapsed().as_micros() as u64;
+    dhdl_obs::histogram!("serve.req.us").record(us);
+    resp
+}
+
+fn level_str(level: LoadLevel) -> &'static str {
+    match level {
+        LoadLevel::Normal => "normal",
+        LoadLevel::Busy => "busy",
+        LoadLevel::Saturated => "saturated",
+    }
+}
+
+fn handle_health(state: &State) -> Json {
+    ok_response([
+        (
+            "state",
+            Json::Str(
+                if state.draining() {
+                    "draining"
+                } else {
+                    "accepting"
+                }
+                .to_string(),
+            ),
+        ),
+        (
+            "level",
+            Json::Str(level_str(state.admission.level()).to_string()),
+        ),
+        ("protocol", Json::Num(PROTOCOL_VERSION as f64)),
+        ("cache_entries", Json::Num(state.cache.len() as f64)),
+    ])
+}
+
+fn handle_stats(state: &State) -> Json {
+    let a = state.admission.stats();
+    let c = &state.counters;
+    let n = |v: u64| Json::Num(v as f64);
+    let nu = |v: usize| Json::Num(v as f64);
+    ok_response([
+        ("requests", n(c.requests.load(Ordering::Relaxed))),
+        (
+            "protocol_errors",
+            n(c.protocol_errors.load(Ordering::Relaxed)),
+        ),
+        ("estimates", n(c.estimates.load(Ordering::Relaxed))),
+        (
+            "estimate_cache_hits",
+            n(c.estimate_cache_hits.load(Ordering::Relaxed)),
+        ),
+        ("sweeps", n(c.sweeps.load(Ordering::Relaxed))),
+        ("degraded_hits", n(c.degraded_hits.load(Ordering::Relaxed))),
+        ("chaos_drops", n(c.chaos_drops.load(Ordering::Relaxed))),
+        (
+            "chaos_truncations",
+            n(c.chaos_truncations.load(Ordering::Relaxed)),
+        ),
+        ("chaos_stalls", n(c.chaos_stalls.load(Ordering::Relaxed))),
+        ("inflight", nu(a.inflight)),
+        ("peak_inflight", nu(a.peak_inflight)),
+        ("admitted", nu(a.admitted)),
+        ("rejected_tenant", nu(a.rejected_tenant)),
+        ("rejected_overload", nu(a.rejected_overload)),
+        ("rejected_shed", nu(a.rejected_shed)),
+        ("rejected_draining", nu(a.rejected_draining)),
+        ("cache_entries", nu(state.cache.len())),
+        ("cache_params_entries", nu(state.cache.params_len())),
+        (
+            "level",
+            Json::Str(level_str(state.admission.level()).to_string()),
+        ),
+    ])
+}
+
+fn handle_submit(_state: &State, bench_name: &str) -> Json {
+    let Some(bench) = dhdl_apps::by_name(bench_name) else {
+        return unknown_bench(bench_name);
+    };
+    let space = bench.param_space();
+    let legal = LegalSpace::new(&space);
+    match bench.build(&bench.default_params()) {
+        Ok(design) => ok_response([
+            ("bench", Json::Str(bench.name().to_string())),
+            ("space_size", Json::Str(legal.size().to_string())),
+            (
+                "structural",
+                Json::Str(format!("{:016x}", structural_hash(&design))),
+            ),
+            ("default_params", params_to_json(&bench.default_params())),
+        ]),
+        Err(e) => error_response(&ProtoError::new(
+            "build_failed",
+            format!("default parameters do not build: {e}"),
+        )),
+    }
+}
+
+fn unknown_bench(name: &str) -> Json {
+    error_response(&ProtoError::new(
+        "unknown_bench",
+        format!("no benchmark named `{name}`"),
+    ))
+}
+
+fn estimate_response(state: &State, est: &Estimate, cached: bool, degraded: bool) -> Json {
+    ok_response([
+        ("cycles", Json::Str(bits_str(est.cycles))),
+        ("alms", Json::Str(bits_str(est.area.alms))),
+        ("regs", Json::Str(bits_str(est.area.regs))),
+        ("dsps", Json::Str(bits_str(est.area.dsps))),
+        ("brams", Json::Str(bits_str(est.area.brams))),
+        (
+            "valid",
+            Json::Bool(est.area.fits(&state.estimator.platform().fpga)),
+        ),
+        ("cached", Json::Bool(cached)),
+        ("degraded", Json::Bool(degraded)),
+    ])
+}
+
+fn handle_estimate(
+    state: &State,
+    header: &Header,
+    bench_name: &str,
+    params: &ParamValues,
+    received: Instant,
+) -> Json {
+    state.counters.estimates.fetch_add(1, Ordering::Relaxed);
+    let Some(bench) = dhdl_apps::by_name(bench_name) else {
+        return unknown_bench(bench_name);
+    };
+    let pk = params_key(state.salt_for(bench.as_ref()), params);
+    let model = CachedModel::new(&state.estimator, &state.cache);
+    // The degraded fast path: a memoized answer is served without an
+    // admission permit, even when the server is saturated or draining —
+    // flagged `degraded` so the client knows it may be stale relative to
+    // a recalibrated model.
+    if let Some(est) = model.lookup_params(pk) {
+        state
+            .counters
+            .estimate_cache_hits
+            .fetch_add(1, Ordering::Relaxed);
+        let degraded = state.admission.level() == LoadLevel::Saturated || state.draining();
+        if degraded {
+            state.counters.degraded_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        dhdl_obs::histogram!("serve.estimate.hit.us").record(received.elapsed().as_micros() as u64);
+        return estimate_response(state, &est, true, degraded);
+    }
+    // Cache miss: real work, so it must pass admission.
+    let _permit = match state
+        .admission
+        .admit(&header.tenant, header.priority, WorkKind::Estimate)
+    {
+        Ok(p) => p,
+        Err(r) => return rejected_response(r.code, r.retry_after_ms),
+    };
+    if let Some(deadline_ms) = header.deadline_ms {
+        if received.elapsed() >= Duration::from_millis(deadline_ms) {
+            // Expired work is cancelled, never silently completed.
+            return error_response(&ProtoError::new("deadline_exceeded", "deadline expired"));
+        }
+    }
+    let design = match bench.build(params) {
+        Ok(d) => d,
+        Err(e) => {
+            return error_response(&ProtoError::new(
+                "bad_params",
+                format!("design does not build: {e}"),
+            ))
+        }
+    };
+    let est = model.estimate_keyed(Some(pk), &design);
+    dhdl_obs::histogram!("serve.estimate.miss.us").record(received.elapsed().as_micros() as u64);
+    estimate_response(state, &est, false, false)
+}
+
+/// Turn an idempotency key into a checkpoint filename: a sanitized
+/// prefix for debuggability plus an FNV suffix so distinct keys can
+/// never collide after sanitization.
+fn checkpoint_name(key: &str) -> String {
+    let safe: String = key
+        .chars()
+        .take(32)
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let mut h = Fnv64::new();
+    h.write(key.as_bytes());
+    format!("{safe}-{:016x}.ckpt", h.finish())
+}
+
+fn handle_sweep(
+    state: &State,
+    header: &Header,
+    bench_name: &str,
+    points: usize,
+    seed: u64,
+) -> Json {
+    let Some(bench) = dhdl_apps::by_name(bench_name) else {
+        return unknown_bench(bench_name);
+    };
+    let _permit = match state
+        .admission
+        .admit(&header.tenant, header.priority, WorkKind::Sweep)
+    {
+        Ok(p) => p,
+        Err(r) => return rejected_response(r.code, r.retry_after_ms),
+    };
+    let t0 = Instant::now();
+    state.counters.sweeps.fetch_add(1, Ordering::Relaxed);
+    let deadline = header
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or(state.cfg.default_deadline);
+    let checkpoint = header
+        .key
+        .as_ref()
+        .map(|k| state.cfg.checkpoint_dir.join(checkpoint_name(k)));
+    let opts = DseOptions {
+        max_points: points.min(state.cfg.max_sweep_points),
+        seed,
+        threads: state.cfg.sweep_threads,
+        deadline,
+        checkpoint,
+        cache_salt: Some(state.salt_for(bench.as_ref())),
+        ..DseOptions::default()
+    };
+    let space = bench.param_space();
+    let model = CachedModel::new(&state.estimator, &state.cache);
+    let build = |p: &ParamValues| bench.build(p);
+    let result = match &state.cfg.faults {
+        Some(fcfg) => {
+            let injector = FaultInjector::new(&model, fcfg.clone());
+            with_silent_panics(|| explore(build, &space, &injector, &opts))
+        }
+        None => explore(build, &space, &model, &opts),
+    };
+    dhdl_obs::histogram!("serve.sweep.ms").record(t0.elapsed().as_millis() as u64);
+    ok_response([
+        (
+            "points",
+            Json::Arr(result.points.iter().map(point_to_json).collect()),
+        ),
+        (
+            "pareto",
+            Json::Arr(result.pareto.iter().map(|&i| Json::Num(i as f64)).collect()),
+        ),
+        ("space_size", Json::Str(result.space_size.to_string())),
+        ("discarded", Json::Num(result.discarded as f64)),
+        ("recovered", Json::Num(result.counts.recovered as f64)),
+        ("truncated", Json::Bool(result.truncated)),
+    ])
+}

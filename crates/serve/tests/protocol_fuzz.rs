@@ -1,0 +1,204 @@
+//! Seeded protocol fuzzing over a live server: malformed, truncated and
+//! oversized frames must each produce either a structured error
+//! response or a clean connection close — never a hang, a torn healthy
+//! response, or a dead server.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use dhdl_serve::json::Json;
+use dhdl_serve::{read_frame, write_frame, Client, Op, Request, RetryPolicy, Server, ServerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const MAX_FRAME: usize = 64 * 1024;
+
+fn spawn_server() -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_frame: MAX_FRAME,
+        read_timeout: Duration::from_millis(500),
+        write_timeout: Duration::from_millis(500),
+        checkpoint_dir: std::env::temp_dir().join(format!("dhdl-fuzz-ckpt-{}", std::process::id())),
+        ..ServerConfig::default()
+    };
+    Server::spawn(cfg).unwrap()
+}
+
+/// One malformed payload, drawn from a seeded generator in the style of
+/// the conformance harness: structured mutations of valid requests plus
+/// raw garbage, so the fuzz walks both near-misses and noise.
+fn hostile_payload(rng: &mut StdRng) -> Vec<u8> {
+    let valid = Request::new(Op::Estimate {
+        bench: "dotproduct".to_string(),
+        params: dhdl_core::ParamValues::new()
+            .with("tile", 64)
+            .with("par", 4),
+    })
+    .render();
+    match rng.gen_range(0..10u32) {
+        // Raw bytes, possibly invalid UTF-8.
+        0 => (0..rng.gen_range(0..200usize))
+            .map(|_| rng.gen_range(0..=255u32) as u8)
+            .collect(),
+        // Truncated valid request.
+        1 => {
+            let cut = rng.gen_range(0..valid.len());
+            valid[..cut].to_vec()
+        }
+        // Valid JSON, wrong shape.
+        2 => b"[1,2,3]".to_vec(),
+        3 => b"42".to_vec(),
+        4 => br#"{"not_op":"health"}"#.to_vec(),
+        // Unknown / mistyped ops and fields.
+        5 => br#"{"op":"warp_drive"}"#.to_vec(),
+        6 => br#"{"op":"sweep","bench":"dotproduct","points":"many"}"#.to_vec(),
+        7 => br#"{"op":"estimate","bench":"no-such-bench","params":{}}"#.to_vec(),
+        // Deep nesting (must hit the parser's depth guard, not the stack).
+        8 => {
+            let depth = rng.gen_range(100..2000usize);
+            let mut v = vec![b'['; depth];
+            v.extend(vec![b']'; depth]);
+            v
+        }
+        // A huge (but in-limit) string body.
+        _ => {
+            let mut v = br#"{"op":""#.to_vec();
+            v.extend(vec![b'x'; rng.gen_range(0..8192usize)]);
+            v.extend(br#""}"#);
+            v
+        }
+    }
+}
+
+fn connect(addr: std::net::SocketAddr) -> TcpStream {
+    let s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.set_write_timeout(Some(Duration::from_secs(5))).unwrap();
+    s
+}
+
+fn assert_healthy(addr: std::net::SocketAddr) {
+    let mut client = Client::new(addr, RetryPolicy::default());
+    let resp = client
+        .request_ok(&Request::new(Op::Health))
+        .expect("server must stay healthy under fuzzing");
+    assert_eq!(resp.get("state").and_then(Json::as_str), Some("accepting"));
+}
+
+#[test]
+fn malformed_frames_get_structured_errors_and_server_survives() {
+    let (addr, handle) = spawn_server();
+    let mut rng = StdRng::seed_from_u64(0xF022);
+    for batch in 0..20 {
+        let mut stream = connect(addr);
+        for _ in 0..15 {
+            let payload = hostile_payload(&mut rng);
+            if write_frame(&mut stream, &payload, MAX_FRAME).is_err() {
+                // The server closed on an earlier hostile frame (its
+                // right); reconnect and keep fuzzing.
+                stream = connect(addr);
+                continue;
+            }
+            match read_frame(&mut stream, dhdl_serve::DEFAULT_MAX_RESPONSE) {
+                Ok(resp) => {
+                    // Whatever came back must be a well-formed protocol
+                    // answer: parseable JSON with a status field, and
+                    // malformed requests specifically get `error` plus a
+                    // machine-readable code.
+                    let v = Json::parse(&resp).expect("response must be valid JSON");
+                    let status = v.get("status").and_then(Json::as_str);
+                    assert!(
+                        matches!(status, Some("ok") | Some("error")),
+                        "unexpected status in {v:?}"
+                    );
+                    if status == Some("error") {
+                        assert!(
+                            v.get("code").and_then(Json::as_str).is_some(),
+                            "error without code: {v:?}"
+                        );
+                    }
+                }
+                Err(_) => {
+                    // Clean close is acceptable; a fresh connection must
+                    // work again immediately.
+                    stream = connect(addr);
+                }
+            }
+        }
+        // After every batch the server still answers health from a
+        // clean connection.
+        assert_healthy(addr);
+        let _ = batch;
+    }
+    let mut client = Client::new(addr, RetryPolicy::default());
+    client.request_ok(&Request::new(Op::Shutdown)).unwrap();
+    drop(client);
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn oversized_and_torn_frames_are_bounded_and_survivable() {
+    let (addr, handle) = spawn_server();
+
+    // A frame declaring more than the limit: the server answers with a
+    // structured `frame_too_large` error and closes — without ever
+    // allocating the declared size.
+    let mut stream = connect(addr);
+    stream
+        .write_all(&((MAX_FRAME as u32) + 1).to_be_bytes())
+        .unwrap();
+    stream
+        .write_all(b"garbage that will never be read")
+        .unwrap();
+    let resp = read_frame(&mut stream, dhdl_serve::DEFAULT_MAX_RESPONSE)
+        .expect("oversized frame gets a structured answer");
+    let v = Json::parse(&resp).unwrap();
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("error"));
+    assert_eq!(
+        v.get("code").and_then(Json::as_str),
+        Some("frame_too_large")
+    );
+    // ...and the connection is closed afterwards.
+    let mut buf = [0u8; 1];
+    assert_eq!(stream.read(&mut buf).unwrap_or(0), 0);
+
+    // A declared-4GiB frame likewise costs nothing.
+    let mut stream = connect(addr);
+    stream.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    let resp = read_frame(&mut stream, dhdl_serve::DEFAULT_MAX_RESPONSE).unwrap();
+    let v = Json::parse(&resp).unwrap();
+    assert_eq!(
+        v.get("code").and_then(Json::as_str),
+        Some("frame_too_large")
+    );
+    drop(stream);
+
+    // A torn prefix (2 of 4 length bytes, then silence): the slow-client
+    // read timeout reaps the connection instead of wedging the worker.
+    let mut stream = connect(addr);
+    stream.write_all(&[0u8, 0]).unwrap();
+    std::thread::sleep(Duration::from_millis(800));
+    let mut buf = [0u8; 8];
+    // The server has closed on us (read returns 0) or reset the
+    // connection (Err); either is a clean, bounded outcome.
+    if let Ok(n) = stream.read(&mut buf) {
+        assert_eq!(n, 0, "no healthy response can follow a torn prefix");
+    }
+
+    // A torn payload (frame promises 100 bytes, delivers 10, closes).
+    let mut stream = connect(addr);
+    stream.write_all(&100u32.to_be_bytes()).unwrap();
+    stream.write_all(&[b'x'; 10]).unwrap();
+    drop(stream);
+
+    assert_healthy(addr);
+    let mut client = Client::new(addr, RetryPolicy::default());
+    client.request_ok(&Request::new(Op::Shutdown)).unwrap();
+    drop(client);
+    handle.join().unwrap().unwrap();
+}
