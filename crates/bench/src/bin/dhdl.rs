@@ -61,7 +61,7 @@ fn main() {
 fn usage() {
     eprintln!(
         "usage:\n  dhdl list\n  dhdl estimate <benchmark> [param=value ...]\n  \
-         dhdl explore  <benchmark> [--points N]\n  \
+         dhdl explore  <benchmark> [--points N] [--strategy random|surrogate]\n  \
          dhdl simulate <benchmark> [param=value ...] [--profile]\n  \
          dhdl codegen  <benchmark> [param=value ...]\n  \
          dhdl bottleneck <benchmark> [param=value ...]"
@@ -99,6 +99,13 @@ fn opt_usize(rest: &[String], name: &str, default: usize) -> usize {
         .and_then(|i| rest.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+fn opt_str(rest: &[String], name: &str) -> Option<String> {
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1))
+        .cloned()
 }
 
 fn list() {
@@ -165,7 +172,18 @@ fn hls(bench: &dyn dhdl_apps::Benchmark) {
 fn explore(bench: &dyn dhdl_apps::Benchmark, rest: &[String]) {
     let points = opt_usize(rest, "--points", 1_000);
     eprintln!("calibrating estimator...");
-    let harness = Harness::new(0xC12, points);
+    let mut harness = Harness::new(0xC12, points);
+    // The flag wins over the DHDL_DSE_STRATEGY env var Harness read.
+    if let Some(name) = opt_str(rest, "--strategy") {
+        match dhdl_dse::SearchStrategy::parse(&name) {
+            Ok(s) => harness.dse.strategy = s,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!("search strategy: {}", harness.dse.strategy.name());
     let dse = harness.explore(bench);
     println!(
         "space {} points; {}; {} Pareto-optimal:",

@@ -89,6 +89,7 @@ fn main() {
     let points = env_usize("DHDL_FIG5_POINTS", 3_000);
     eprintln!("calibrating estimator...");
     let harness = Harness::new(0xF165, points);
+    eprintln!("search strategy: {}", harness.dse.strategy.name());
     let target = &harness.platform.fpga;
 
     let mut bound_table = Table::new(&[

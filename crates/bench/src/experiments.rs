@@ -8,7 +8,7 @@ use dhdl_apps::Benchmark;
 use dhdl_core::{structural_hash, Design, Fnv64, ParamValues};
 use dhdl_dse::{
     explore, model_fingerprint, spread, CacheMode, CachedModel, CostModel, DseOptions, DseResult,
-    EstimateCache,
+    EstimateCache, SearchStrategy,
 };
 use dhdl_estimate::{Estimate, Estimator};
 use dhdl_sim::{backend_from_env, simulate_with, Bindings, SimResult};
@@ -48,10 +48,12 @@ impl Harness {
     /// threads, 0 = all cores), `DHDL_DSE_DEADLINE_MS` (wall-clock
     /// budget per sweep), `DHDL_DSE_CHECKPOINT=1` (stream progress
     /// to `results/checkpoints/<bench>.ckpt` so interrupted sweeps
-    /// resume), and `DHDL_DSE_CACHE=off|mem|disk` (estimate memoization;
+    /// resume), `DHDL_DSE_CACHE=off|mem|disk` (estimate memoization;
     /// `disk` — the default — persists under `results/cache/` keyed by
     /// the trained model's fingerprint, so repeated runs skip
-    /// re-estimating every design they have seen before).
+    /// re-estimating every design they have seen before), and
+    /// `DHDL_DSE_STRATEGY=random|surrogate` (how the sweep spends its
+    /// point budget; see [`SearchStrategy`]).
     pub fn new(seed: u64, dse_points: usize) -> Self {
         let platform = Platform::maia();
         let estimator = Self::cached_estimator(&platform, seed);
@@ -80,6 +82,7 @@ impl Harness {
                 seed,
                 threads,
                 deadline,
+                strategy: SearchStrategy::from_env(),
                 ..DseOptions::default()
             },
             cache,

@@ -27,7 +27,22 @@ use dhdl_target::AreaReport;
 use crate::runner::{DseError, PointOutcome};
 use crate::search::{DesignPoint, DseOptions};
 
-const MAGIC: &str = "dhdl-dse-checkpoint v1";
+const MAGIC: &str = "dhdl-dse-checkpoint v2";
+
+/// One surrogate acquisition round's bookkeeping, recorded in the
+/// checkpoint so a resumed run can verify its deterministic replay: the
+/// acquisition RNG state at the start of the round and the size of the
+/// training set the round's surrogates were fitted on. A mismatch on
+/// resume means the replay diverged (different code or data), which is
+/// warned about and counted rather than trusted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SurrogateRound {
+    /// Acquisition RNG state (SplitMix64) before the round's batch was
+    /// selected.
+    pub rng_state: u64,
+    /// Number of evaluated training samples the round's surrogates saw.
+    pub train_len: usize,
+}
 
 /// An open sweep checkpoint: previously completed outcomes plus an
 /// append handle for streaming new ones.
@@ -36,6 +51,7 @@ pub struct Checkpoint {
     path: PathBuf,
     param_names: Vec<String>,
     done: BTreeMap<usize, PointOutcome>,
+    rounds: BTreeMap<u64, SurrogateRound>,
     file: Mutex<File>,
 }
 
@@ -57,12 +73,13 @@ impl Checkpoint {
     ) -> io::Result<Checkpoint> {
         let param_names: Vec<String> = space.defs().iter().map(|d| d.name.clone()).collect();
         let header = header_lines(opts, space_size, &param_names);
-        if let Some(done) = try_resume(path, &header, &param_names) {
+        if let Some((done, rounds)) = try_resume(path, &header, &param_names) {
             let file = OpenOptions::new().append(true).open(path)?;
             return Ok(Checkpoint {
                 path: path.to_path_buf(),
                 param_names,
                 done,
+                rounds,
                 file: Mutex::new(file),
             });
         }
@@ -86,6 +103,7 @@ impl Checkpoint {
             path: path.to_path_buf(),
             param_names,
             done: BTreeMap::new(),
+            rounds: BTreeMap::new(),
             file: Mutex::new(file),
         })
     }
@@ -99,6 +117,24 @@ impl Checkpoint {
     /// Number of restored outcomes.
     pub fn restored(&self) -> usize {
         self.done.len()
+    }
+
+    /// The surrogate round record restored for `round`, if any.
+    pub(crate) fn surrogate_round(&self, round: u64) -> Option<&SurrogateRound> {
+        self.rounds.get(&round)
+    }
+
+    /// Append one surrogate round record. Like [`Checkpoint::append`],
+    /// failures warn but never interrupt the sweep.
+    pub(crate) fn append_surrogate_round(&self, round: u64, rec: &SurrogateRound) {
+        let line = format!("S {round} {:016x} {}\n", rec.rng_state, rec.train_len);
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        if let Err(e) = file.write_all(line.as_bytes()) {
+            eprintln!(
+                "warning: checkpoint append to {} failed: {e}",
+                self.path.display()
+            );
+        }
     }
 
     /// Append one finished outcome. Failures are reported to stderr but
@@ -131,6 +167,10 @@ fn header_lines(opts: &DseOptions, space_size: u128, param_names: &[String]) -> 
             "seed={:x} max_points={} mem_cap_bits={} space_size={}",
             opts.seed, opts.max_points, opts.mem_cap_bits, space_size
         ),
+        // The full strategy descriptor, not just its name: a surrogate
+        // checkpoint written under different tuning selects different
+        // batches, so resuming it would silently change results.
+        format!("strategy={}", opts.strategy.descriptor()),
         format!("params={}", param_names.join(" ")),
     ]
 }
@@ -145,11 +185,9 @@ fn header_lines(opts: &DseOptions, space_size: u128, param_names: &[String]) -> 
 /// `checkpoint.stale` / `checkpoint.dropped_records` obs counters, then
 /// the sweep proceeds — a bad checkpoint only ever costs resume
 /// coverage, never the sweep itself.
-fn try_resume(
-    path: &Path,
-    header: &[String],
-    param_names: &[String],
-) -> Option<BTreeMap<usize, PointOutcome>> {
+type Restored = (BTreeMap<usize, PointOutcome>, BTreeMap<u64, SurrogateRound>);
+
+fn try_resume(path: &Path, header: &[String], param_names: &[String]) -> Option<Restored> {
     let mut text = String::new();
     match File::open(path) {
         Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
@@ -184,6 +222,7 @@ fn try_resume(
         }
     }
     let mut done = BTreeMap::new();
+    let mut rounds = BTreeMap::new();
     let mut dropped = 0usize;
     while let Some(line) = lines.next() {
         // A torn trailing record (kill mid-write) parses as None; stop
@@ -191,8 +230,11 @@ fn try_resume(
         // the tear is untrustworthy (the format is append-only), so it
         // is dropped too — but loudly, never silently.
         match parse_record(line, param_names) {
-            Some((idx, outcome)) => {
+            Some(Record::Outcome(idx, outcome)) => {
                 done.insert(idx, outcome);
+            }
+            Some(Record::Round(round, rec)) => {
+                rounds.insert(round, rec);
             }
             None => {
                 dropped = lines.count() + 1;
@@ -208,7 +250,7 @@ fn try_resume(
         );
         dhdl_obs::counter!("checkpoint.dropped_records").add(dropped as u64);
     }
-    Some(done)
+    Some((done, rounds))
 }
 
 /// Serialize one outcome as a checkpoint record line (with trailing
@@ -253,10 +295,33 @@ fn record_line(index: usize, outcome: &PointOutcome, param_names: &[String]) -> 
     Some(line)
 }
 
+/// A parsed checkpoint record: a point outcome (`P`/`D` lines) or a
+/// surrogate round (`S` lines).
+#[derive(Debug, PartialEq)]
+enum Record {
+    Outcome(usize, PointOutcome),
+    Round(u64, SurrogateRound),
+}
+
 /// Parse one record line; `None` on any malformation.
-fn parse_record(line: &str, param_names: &[String]) -> Option<(usize, PointOutcome)> {
+fn parse_record(line: &str, param_names: &[String]) -> Option<Record> {
     let mut fields = line.split(' ');
     let tag = fields.next()?;
+    if tag == "S" {
+        let round: u64 = fields.next()?.parse().ok()?;
+        let rng_state = u64::from_str_radix(fields.next()?, 16).ok()?;
+        let train_len: usize = fields.next()?.parse().ok()?;
+        if fields.next().is_some() {
+            return None;
+        }
+        return Some(Record::Round(
+            round,
+            SurrogateRound {
+                rng_state,
+                train_len,
+            },
+        ));
+    }
     let index: usize = fields.next()?.parse().ok()?;
     match tag {
         "P" => {
@@ -288,7 +353,7 @@ fn parse_record(line: &str, param_names: &[String]) -> Option<(usize, PointOutco
             if fields.next().is_some() {
                 return None;
             }
-            Some((
+            Some(Record::Outcome(
                 index,
                 PointOutcome::Evaluated {
                     point: DesignPoint {
@@ -324,7 +389,7 @@ fn parse_record(line: &str, param_names: &[String]) -> Option<(usize, PointOutco
                 },
                 _ => return None,
             };
-            Some((index, PointOutcome::Discarded(error)))
+            Some(Record::Outcome(index, PointOutcome::Discarded(error)))
         }
         _ => None,
     }
@@ -378,7 +443,9 @@ mod tests {
         ];
         for (i, outcome) in outcomes.iter().enumerate() {
             let line = record_line(i, outcome, &names()).unwrap();
-            let (idx, parsed) = parse_record(line.trim_end(), &names()).unwrap();
+            let Some(Record::Outcome(idx, parsed)) = parse_record(line.trim_end(), &names()) else {
+                panic!("record did not parse as an outcome: {line}");
+            };
             assert_eq!(idx, i);
             match (&parsed, outcome) {
                 // Newlines are flattened; everything else is exact.
@@ -403,6 +470,18 @@ mod tests {
         assert!(parse_record(torn.trim_end(), &names()).is_none());
         assert!(parse_record("X 1 nonsense", &names()).is_none());
         assert!(parse_record("", &names()).is_none());
+        assert!(parse_record("S 1 zz 4", &names()).is_none());
+        assert!(parse_record("S 1 00000000000000aa 4 extra", &names()).is_none());
+    }
+
+    #[test]
+    fn surrogate_round_records_roundtrip() {
+        let rec = SurrogateRound {
+            rng_state: 0xDEAD_BEEF_0123_4567,
+            train_len: 48,
+        };
+        let line = format!("S 7 {:016x} {}", rec.rng_state, rec.train_len);
+        assert_eq!(parse_record(&line, &names()), Some(Record::Round(7, rec)));
     }
 
     #[test]
@@ -437,6 +516,55 @@ mod tests {
         // discipline existed) → fresh sweep.
         std::fs::write(&path, MAGIC.as_bytes()).unwrap();
         let fresh = Checkpoint::open(&path, &space, &opts, 99).unwrap();
+        assert_eq!(fresh.restored(), 0);
+        fresh.remove();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn surrogate_rounds_survive_resume_and_pin_the_strategy() {
+        use crate::search::{SearchStrategy, SurrogateConfig};
+        let dir = std::env::temp_dir().join(format!("dhdl-ckpt-sur-{}", std::process::id()));
+        let path = dir.join("sur.ckpt");
+        let mut space = ParamSpace::new();
+        space.tile("tile", 64, 4, 64);
+        space.par("par", 8, 8);
+        let opts = DseOptions {
+            max_points: 10,
+            strategy: SearchStrategy::Surrogate(SurrogateConfig::default()),
+            ..DseOptions::default()
+        };
+        let rec = SurrogateRound {
+            rng_state: 0xABCD,
+            train_len: 3,
+        };
+        let ckpt = Checkpoint::open(&path, &space, &opts, 99).unwrap();
+        ckpt.append(0, &sample_point());
+        ckpt.append_surrogate_round(0, &rec);
+        drop(ckpt);
+        let resumed = Checkpoint::open(&path, &space, &opts, 99).unwrap();
+        assert_eq!(resumed.restored(), 1);
+        assert_eq!(resumed.surrogate_round(0), Some(&rec));
+        assert_eq!(resumed.surrogate_round(1), None);
+        drop(resumed);
+        // A checkpoint written under one strategy must not resume under
+        // another: the point indices mean different things.
+        let random = DseOptions {
+            strategy: SearchStrategy::Random,
+            ..opts.clone()
+        };
+        let fresh = Checkpoint::open(&path, &space, &random, 99).unwrap();
+        assert_eq!(fresh.restored(), 0);
+        // And different surrogate tuning is stale too.
+        let retuned = DseOptions {
+            strategy: SearchStrategy::Surrogate(SurrogateConfig {
+                batch: 99,
+                ..SurrogateConfig::default()
+            }),
+            ..opts
+        };
+        drop(fresh);
+        let fresh = Checkpoint::open(&path, &space, &retuned, 99).unwrap();
         assert_eq!(fresh.restored(), 0);
         fresh.remove();
         let _ = std::fs::remove_dir_all(&dir);

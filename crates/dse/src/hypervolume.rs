@@ -1,0 +1,233 @@
+//! Pareto hypervolume: the 2-D objective-space volume dominated by a
+//! point set, and the marginal contribution of a candidate point.
+//!
+//! Both objectives are minimized (cycles, area), so the dominated region
+//! of a point `p` is the axis-aligned box between `p` and a *reference
+//! point* that is worse than everything under comparison. Hypervolume is
+//! the canonical scalarization for comparing Pareto fronts — a front A
+//! with `hypervolume(A) ≥ hypervolume(B)` covers at least as much of the
+//! objective space as B — and its *improvement* under a candidate
+//! insertion is the acquisition score of the surrogate-guided search
+//! ([`crate::SurrogateConfig`]).
+
+/// The reference point bounding the hypervolume box: a point strictly
+/// worse than every point it will be compared against, in both
+/// (minimized) objectives.
+///
+/// Computed as the componentwise maximum of `points` scaled by
+/// `1 + margin` (margins of a few percent keep boundary points from
+/// contributing zero volume). Returns `None` when `points` is empty or
+/// contains a non-finite coordinate.
+pub fn reference_point<I>(points: I, margin: f64) -> Option<(f64, f64)>
+where
+    I: IntoIterator<Item = (f64, f64)>,
+{
+    let mut max_x = f64::NEG_INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    let mut any = false;
+    for (x, y) in points {
+        if !x.is_finite() || !y.is_finite() {
+            return None;
+        }
+        max_x = max_x.max(x);
+        max_y = max_y.max(y);
+        any = true;
+    }
+    if !any {
+        return None;
+    }
+    let pad = |v: f64| {
+        // Scale away from zero so even all-negative or zero coordinates
+        // get a strictly-worse reference.
+        v + v.abs() * margin + margin.max(f64::MIN_POSITIVE)
+    };
+    Some((pad(max_x), pad(max_y)))
+}
+
+/// The non-dominated staircase of `points` (both objectives minimized),
+/// sorted by the first objective ascending with the second strictly
+/// decreasing. Exact duplicates collapse to one representative and
+/// non-finite points are ignored, so the result is safe to feed to
+/// [`hypervolume`] and [`improvement`].
+pub fn staircase(points: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut pts: Vec<(f64, f64)> = points
+        .iter()
+        .copied()
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let mut front: Vec<(f64, f64)> = Vec::new();
+    for (x, y) in pts {
+        if front.last().map_or(true, |&(_, fy)| y < fy) {
+            front.push((x, y));
+        }
+    }
+    front
+}
+
+/// Hypervolume dominated by `front` with respect to `reference`, where
+/// `front` is a [`staircase`] (sorted, non-dominated). Points at or
+/// beyond the reference in either objective contribute nothing; an empty
+/// front has volume zero.
+pub fn hypervolume(front: &[(f64, f64)], reference: (f64, f64)) -> f64 {
+    let (rx, ry) = reference;
+    let mut volume = 0.0;
+    // Walk the staircase left to right: each point owns the horizontal
+    // strip from itself to its successor (or the reference edge), the
+    // full height up to the reference — strips never overlap because
+    // each starts where the previous ends.
+    for (i, &(x, y)) in front.iter().enumerate() {
+        if x >= rx || y >= ry {
+            // Outside the reference box; contributes nothing. In a true
+            // staircase everything after an x-clipped point is clipped
+            // too.
+            continue;
+        }
+        let next_x = front.get(i + 1).map_or(rx, |&(nx, _)| nx.min(rx));
+        let width = next_x - x;
+        debug_assert!(width >= 0.0);
+        volume += width * (ry - y);
+    }
+    volume
+}
+
+/// Convenience: hypervolume of an arbitrary point set (staircase
+/// extraction included).
+pub fn hypervolume_of(points: &[(f64, f64)], reference: (f64, f64)) -> f64 {
+    hypervolume(&staircase(points), reference)
+}
+
+/// The exclusive hypervolume a `candidate` would add to `front` — zero
+/// when the candidate is dominated by (or equal to) a front point or
+/// falls outside the reference box. `front` must be a [`staircase`].
+///
+/// This is the acquisition score of the surrogate search: candidates are
+/// ranked by the predicted-objective improvement and the top batch is
+/// evaluated for real.
+pub fn improvement(front: &[(f64, f64)], reference: (f64, f64), candidate: (f64, f64)) -> f64 {
+    let (cx, cy) = candidate;
+    let (rx, ry) = reference;
+    if !cx.is_finite() || !cy.is_finite() || cx >= rx || cy >= ry {
+        return 0.0;
+    }
+    if front.iter().any(|&(fx, fy)| fx <= cx && fy <= cy) {
+        return 0.0;
+    }
+    // The candidate's exclusive region spans x from cx to the first front
+    // point right of it; vertically it is clipped by every front point
+    // left of (i.e. faster than) the candidate.
+    let mut volume = 0.0;
+    // Ceiling: the lowest area among front points with fx <= cx (they
+    // limit how much vertical room the candidate's strip has), or the
+    // reference if none.
+    let mut ceil_y = ry;
+    for &(fx, fy) in front {
+        if fx <= cx {
+            ceil_y = ceil_y.min(fy);
+        }
+    }
+    if cy >= ceil_y {
+        return 0.0;
+    }
+    // Walk right from the candidate through front points until one drops
+    // below the candidate's area.
+    let mut x = cx;
+    for &(fx, fy) in front.iter().filter(|&&(fx, _)| fx > cx) {
+        if fx >= rx {
+            break;
+        }
+        volume += (fx - x) * (ceil_y - cy);
+        if fy <= cy {
+            return volume;
+        }
+        ceil_y = ceil_y.min(fy);
+        x = fx;
+        if cy >= ceil_y {
+            return volume;
+        }
+    }
+    volume += (rx - x) * (ceil_y - cy);
+    volume
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_box() {
+        let front = staircase(&[(1.0, 1.0)]);
+        assert_eq!(hypervolume(&front, (3.0, 4.0)), 2.0 * 3.0);
+        assert_eq!(hypervolume(&front, (1.0, 1.0)), 0.0);
+        assert_eq!(hypervolume(&[], (3.0, 4.0)), 0.0);
+    }
+
+    #[test]
+    fn staircase_drops_dominated_and_duplicates() {
+        let s = staircase(&[
+            (1.0, 5.0),
+            (1.0, 5.0), // duplicate
+            (2.0, 6.0), // dominated by (1,5)
+            (3.0, 2.0),
+            (f64::NAN, 0.0), // ignored
+            (0.5, 9.0),
+        ]);
+        assert_eq!(s, vec![(0.5, 9.0), (1.0, 5.0), (3.0, 2.0)]);
+    }
+
+    #[test]
+    fn two_point_staircase_volume() {
+        // Points (1,3) and (2,1), reference (4,4):
+        // strip 1: x in [1,2) at height 4-3=1 → 1
+        // strip 2: x in [2,4) at height 4-1=3 → 6
+        let front = staircase(&[(1.0, 3.0), (2.0, 1.0)]);
+        assert_eq!(hypervolume(&front, (4.0, 4.0)), 7.0);
+        assert_eq!(hypervolume_of(&[(2.0, 1.0), (1.0, 3.0)], (4.0, 4.0)), 7.0);
+    }
+
+    #[test]
+    fn improvement_matches_recomputation() {
+        let base = vec![(1.0, 6.0), (3.0, 4.0), (5.0, 1.0)];
+        let front = staircase(&base);
+        let reference = (8.0, 8.0);
+        for candidate in [
+            (2.0, 5.0),
+            (0.5, 7.0),
+            (6.0, 0.5),
+            (4.0, 2.0),
+            (2.0, 3.5),
+            (0.1, 0.1),
+            (7.9, 7.9),
+            (3.0, 4.0), // exact duplicate → 0
+            (4.0, 5.0), // dominated → 0
+            (9.0, 0.0), // outside reference → 0
+            (f64::NAN, 1.0),
+        ] {
+            let inc = improvement(&front, reference, candidate);
+            let mut all = base.clone();
+            all.push(candidate);
+            let recomputed = hypervolume_of(&all, reference) - hypervolume(&front, reference);
+            assert!(
+                (inc - recomputed).abs() < 1e-9,
+                "candidate {candidate:?}: incremental {inc} vs recomputed {recomputed}"
+            );
+        }
+    }
+
+    #[test]
+    fn improvement_of_empty_front_is_candidate_box() {
+        assert_eq!(improvement(&[], (4.0, 4.0), (1.0, 1.0)), 9.0);
+        assert_eq!(improvement(&[], (4.0, 4.0), (4.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn reference_point_pads_the_maxima() {
+        let r = reference_point([(1.0, 10.0), (5.0, 2.0)], 0.05).unwrap();
+        assert!(r.0 > 5.0 && r.1 > 10.0);
+        assert!(reference_point([], 0.05).is_none());
+        assert!(reference_point([(f64::NAN, 1.0)], 0.05).is_none());
+        // Zero maxima still produce a strictly-worse reference.
+        let z = reference_point([(0.0, 0.0)], 0.05).unwrap();
+        assert!(z.0 > 0.0 && z.1 > 0.0);
+    }
+}

@@ -8,6 +8,13 @@
 //! Pareto-optimal surface over execution time and ALM usage — the data
 //! behind Figure 5.
 //!
+//! Two [`SearchStrategy`] implementations spend the point budget: the
+//! paper's uniform random sweep (the default) and a surrogate-guided
+//! active-learning loop that trains `dhdl-mlp` regressors online and
+//! acquires the candidates with the highest predicted Pareto-hypervolume
+//! improvement ([`hypervolume`]) — reaching a comparable front at a
+//! fraction of the evaluations (see `results/BENCH_dse.json`).
+//!
 //! Sweeps run on a resilient parallel runner: points fan out over a
 //! work-stealing thread pool with per-point panic isolation and bounded
 //! retries, discards are accounted per cause in [`OutcomeCounts`], a
@@ -47,11 +54,13 @@
 mod cache;
 mod checkpoint;
 mod fault;
+pub mod hypervolume;
 mod objectives;
 mod pareto;
 mod runner;
 mod search;
 mod space;
+mod surrogate;
 
 pub use cache::{model_fingerprint, params_key, CacheMode, CacheStats, CachedModel, EstimateCache};
 pub use checkpoint::Checkpoint;
@@ -59,5 +68,8 @@ pub use fault::{with_silent_panics, FaultConfig, FaultInjector, FaultPlan, Injec
 pub use objectives::{frontier_along, perf_per_area, rank_by_perf_per_area, ResourceAxis};
 pub use pareto::{pareto_front, spread};
 pub use runner::{CostModel, DseError, OutcomeCounts, PointOutcome, SweepStats};
-pub use search::{evaluate_all, explore, refine, DesignPoint, DseOptions, DseResult};
+pub use search::{
+    evaluate_all, explore, refine, DesignPoint, DseOptions, DseResult, SearchStrategy,
+    SurrogateConfig,
+};
 pub use space::LegalSpace;

@@ -7,12 +7,18 @@
 /// along the dimensions of execution time and ALM utilization".
 pub fn pareto_front(points: &[(f64, f64, bool)]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..points.len()).filter(|&i| points[i].2).collect();
-    // Sort by cycles ascending, then area ascending.
+    // Sort by cycles ascending, then area ascending, then input index:
+    // points with exactly equal objectives tie-break to the earliest
+    // index *explicitly* (not by leaning on sort stability), so the
+    // frontier is a deterministic function of the point list however it
+    // was assembled — a requirement for comparing strategies bit-exactly
+    // across thread counts and checkpoint resumes.
     idx.sort_by(|&a, &b| {
         points[a]
             .0
             .total_cmp(&points[b].0)
             .then(points[a].1.total_cmp(&points[b].1))
+            .then(a.cmp(&b))
     });
     let mut front = Vec::new();
     let mut best_area = f64::INFINITY;
@@ -65,6 +71,27 @@ mod tests {
     fn equal_cycles_takes_smaller_area() {
         let pts = vec![(10.0, 7.0, true), (10.0, 5.0, true)];
         assert_eq!(pareto_front(&pts), vec![1]);
+    }
+
+    #[test]
+    fn duplicate_objectives_tie_break_to_earliest_index() {
+        // Exactly-equal (cycles, area) points: the earliest index wins
+        // the frontier slot, deterministically.
+        let pts = vec![
+            (10.0, 5.0, true), // 0: duplicate of 2 — earliest wins
+            (5.0, 9.0, true),  // 1: on front
+            (10.0, 5.0, true), // 2: duplicate of 0
+            (10.0, 5.0, true), // 3: duplicate of 0
+            (20.0, 2.0, true), // 4: on front
+        ];
+        assert_eq!(pareto_front(&pts), vec![1, 0, 4]);
+        // A fully degenerate set keeps exactly one representative.
+        let same = vec![(3.0, 3.0, true); 5];
+        assert_eq!(pareto_front(&same), vec![0]);
+        // Equal cycles with equal area at the front boundary: still one
+        // representative, still the earliest.
+        let pts = vec![(1.0, 4.0, true), (1.0, 4.0, true), (1.0, 3.0, true)];
+        assert_eq!(pareto_front(&pts), vec![2]);
     }
 
     #[test]

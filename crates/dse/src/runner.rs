@@ -344,10 +344,33 @@ where
     F: Fn(&ParamValues) -> dhdl_core::Result<Design> + Sync,
     E: CostModel + ?Sized,
 {
-    let _span = dhdl_obs::span_arg("dse.evaluate", "points", samples.len() as u64);
+    let batch: Vec<(usize, &ParamValues)> = samples.iter().enumerate().collect();
+    evaluate_indexed(build, estimator, &batch, opts, deadline, checkpoint)
+}
+
+/// Evaluate an explicitly-keyed batch in parallel, one [`PointOutcome`]
+/// per input position. Each item carries its own checkpoint key, so
+/// callers that dispatch points out of sample order (the surrogate
+/// strategy's acquisition batches) still get stable checkpoint records:
+/// `batch[i].0` is looked up in — and appended to — the checkpoint, while
+/// the returned vector stays positional (`outcomes[i]` belongs to
+/// `batch[i]`).
+pub(crate) fn evaluate_indexed<F, E>(
+    build: &F,
+    estimator: &E,
+    batch: &[(usize, &ParamValues)],
+    opts: &DseOptions,
+    deadline: Option<Instant>,
+    checkpoint: Option<&Checkpoint>,
+) -> (Vec<PointOutcome>, SweepStats)
+where
+    F: Fn(&ParamValues) -> dhdl_core::Result<Design> + Sync,
+    E: CostModel + ?Sized,
+{
+    let _span = dhdl_obs::span_arg("dse.evaluate", "points", batch.len() as u64);
     let start = Instant::now();
     let cache_before = estimator.cache_stats();
-    let n = samples.len();
+    let n = batch.len();
     let threads = resolve_threads(opts.threads).min(n.max(1));
     let next = AtomicUsize::new(0);
     let done = checkpoint.map(Checkpoint::completed);
@@ -365,23 +388,24 @@ where
                             dhdl_obs::counter!("dse.worker.deadline_stop").incr();
                             break;
                         }
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        let pos = next.fetch_add(1, Ordering::Relaxed);
+                        if pos >= n {
                             break;
                         }
-                        if let Some(prev) = done.as_ref().and_then(|d| d.get(&i)) {
+                        let (key, params) = batch[pos];
+                        if let Some(prev) = done.as_ref().and_then(|d| d.get(&key)) {
                             dhdl_obs::counter!("dse.points.checkpoint_reuse").incr();
-                            local.push((i, prev.clone()));
+                            local.push((pos, prev.clone()));
                             continue;
                         }
                         let outcome = {
                             let _t = dhdl_obs::histogram!("dse.point.eval_ns").timer();
-                            evaluate_one(build, estimator, &samples[i], opts)
+                            evaluate_one(build, estimator, params, opts)
                         };
                         if let Some(ckpt) = checkpoint {
-                            ckpt.append(i, &outcome);
+                            ckpt.append(key, &outcome);
                         }
-                        local.push((i, outcome));
+                        local.push((pos, outcome));
                     }
                     local
                 })

@@ -1,0 +1,295 @@
+//! End-to-end determinism and resilience tests for the surrogate-guided
+//! search strategy: bit-identical results across thread counts, across
+//! checkpoint interrupt/resume, and graceful termination under injected
+//! faults (the acceptance criteria of the surrogate-DSE work).
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use dhdl_core::{by, DType, Design, DesignBuilder, ParamSpace, ParamValues, ReduceOp};
+use dhdl_dse::{
+    explore, with_silent_panics, DseOptions, DseResult, FaultConfig, FaultInjector, SearchStrategy,
+    SurrogateConfig,
+};
+use dhdl_estimate::Estimator;
+use dhdl_target::Platform;
+use proptest::prelude::*;
+
+fn build_dot(p: &ParamValues) -> dhdl_core::Result<Design> {
+    let n = 4096u64;
+    let tile = p.dim("tile")?;
+    let par = p.par("par")?;
+    let toggle = p.toggle("mp")?;
+    let mut b = DesignBuilder::new("dot");
+    let x = b.off_chip("x", DType::F32, &[n]);
+    let y = b.off_chip("y", DType::F32, &[n]);
+    b.sequential(|b| {
+        let acc = b.reg("acc", DType::F32, 0.0);
+        b.outer(toggle, &[by(n, tile)], 1, |b, iters| {
+            let i = iters[0];
+            let xt = b.bram("xT", DType::F32, &[tile]);
+            let yt = b.bram("yT", DType::F32, &[tile]);
+            b.parallel(|b| {
+                b.tile_load(x, xt, &[i], &[tile], par);
+                b.tile_load(y, yt, &[i], &[tile], par);
+            });
+            b.pipe_reduce(&[by(tile, 1)], par, acc, ReduceOp::Add, |b, it| {
+                let a = b.load(xt, &[it[0]]);
+                let c = b.load(yt, &[it[0]]);
+                b.mul(a, c)
+            });
+        });
+    });
+    b.finish()
+}
+
+fn space() -> ParamSpace {
+    let mut s = ParamSpace::new();
+    s.tile("tile", 4096, 16, 1024);
+    s.par("par", 16, 16);
+    s.toggle("mp");
+    s
+}
+
+/// Calibration is the slow part; share one estimator across all tests.
+fn estimator() -> &'static Estimator {
+    static EST: OnceLock<Estimator> = OnceLock::new();
+    EST.get_or_init(|| Estimator::calibrate_with(&Platform::maia(), 30, 11).0)
+}
+
+/// Small batches so even a modest budget spans several acquisition
+/// rounds (seed batch + retrain + acquire, repeatedly).
+fn tuning() -> SurrogateConfig {
+    SurrogateConfig {
+        init: 8,
+        batch: 4,
+        epochs: 60,
+        ..SurrogateConfig::default()
+    }
+}
+
+fn opts(max_points: usize) -> DseOptions {
+    DseOptions {
+        max_points,
+        strategy: SearchStrategy::Surrogate(tuning()),
+        ..DseOptions::default()
+    }
+}
+
+fn ckpt_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dhdl-surrogate-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(format!("{tag}.ckpt"))
+}
+
+fn fronts(r: &DseResult) -> Vec<(String, u64, u64)> {
+    r.pareto_points()
+        .map(|p| {
+            (
+                p.params.to_string(),
+                p.cycles.to_bits(),
+                p.area.alms.to_bits(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn surrogate_run_spends_its_budget_and_finds_a_front() {
+    let est = estimator();
+    let r = explore(build_dot, &space(), est, &opts(24));
+    assert!(!r.truncated);
+    assert_eq!(r.counts.evaluated + r.counts.discarded(), 24);
+    assert!(!r.pareto.is_empty());
+    // Frontier invariants hold: sorted fastest-first, areas decreasing.
+    let pp: Vec<_> = r.pareto_points().collect();
+    for w in pp.windows(2) {
+        assert!(w[0].cycles <= w[1].cycles);
+        assert!(w[0].area.alms >= w[1].area.alms);
+    }
+    // No point evaluated twice.
+    let mut names: Vec<String> = r.points.iter().map(|p| p.params.to_string()).collect();
+    let n = names.len();
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), n);
+}
+
+#[test]
+fn surrogate_is_bit_identical_across_thread_counts() {
+    let est = estimator();
+    let runs: Vec<DseResult> = [1usize, 2, 8]
+        .into_iter()
+        .map(|threads| {
+            let o = DseOptions {
+                threads,
+                ..opts(24)
+            };
+            explore(build_dot, &space(), est, &o)
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+    assert_eq!(runs[0], runs[2]);
+    assert!(!runs[0].points.is_empty());
+}
+
+#[test]
+fn interrupted_surrogate_resumes_bit_identically() {
+    let est = estimator();
+    let path = ckpt_path("resume");
+    let _ = std::fs::remove_file(&path);
+
+    let reference = explore(build_dot, &space(), est, &opts(24));
+    assert!(!reference.truncated);
+
+    // Interrupt: latency spikes + a tight deadline on few threads cut
+    // the acquisition loop off mid-flight.
+    let spike_cfg = FaultConfig {
+        seed: 7,
+        spike_rate: 1.0,
+        spike: Duration::from_millis(15),
+        ..FaultConfig::default()
+    };
+    let injector = FaultInjector::new(est, spike_cfg);
+    let interrupted_opts = DseOptions {
+        threads: 2,
+        deadline: Some(Duration::from_millis(5)),
+        checkpoint: Some(path.clone()),
+        ..opts(24)
+    };
+    let partial = explore(build_dot, &space(), &injector, &interrupted_opts);
+    assert!(partial.truncated, "deadline did not truncate the search");
+    assert!(path.exists(), "truncated search must leave its checkpoint");
+
+    // Resume without a deadline: the replayed loop reuses every
+    // checkpointed point and the final result equals the uninterrupted
+    // run's, bit for bit.
+    let resume_opts = DseOptions {
+        checkpoint: Some(path.clone()),
+        ..opts(24)
+    };
+    let resumed = explore(build_dot, &space(), est, &resume_opts);
+    assert!(!resumed.truncated);
+    assert_eq!(resumed, reference);
+    assert!(
+        !path.exists(),
+        "completed search must clean up its checkpoint"
+    );
+}
+
+#[test]
+fn transient_faults_cannot_change_the_surrogate_result() {
+    let est = estimator();
+    let clean = explore(build_dot, &space(), est, &opts(24));
+    // The acceptance bar: 5% panics + 5% NaN estimates. Transient, so
+    // the runner's retry budget recovers every point and the adaptive
+    // loop sees bit-identical training data.
+    let cfg = FaultConfig {
+        seed: 0xBAD5EED,
+        panic_rate: 0.05,
+        nan_rate: 0.05,
+        transient: true,
+        ..FaultConfig::default()
+    };
+    let injector = FaultInjector::new(est, cfg);
+    let faulty = with_silent_panics(|| explore(build_dot, &space(), &injector, &opts(24)));
+    assert_eq!(faulty.points, clean.points);
+    assert_eq!(fronts(&faulty), fronts(&clean));
+    assert_eq!(faulty.counts.eval_failed, 0);
+}
+
+#[test]
+fn hard_faults_terminate_with_a_valid_front() {
+    let est = estimator();
+    // Faults on *every* attempt: some points are lost for good. The
+    // loop must still terminate within budget, account for the losses,
+    // and extract a structurally valid front from what survived.
+    let cfg = FaultConfig {
+        seed: 0xDEAD,
+        panic_rate: 0.05,
+        nan_rate: 0.05,
+        transient: false,
+        ..FaultConfig::default()
+    };
+    let injector = FaultInjector::new(est, cfg);
+    let r = with_silent_panics(|| explore(build_dot, &space(), &injector, &opts(24)));
+    assert!(!r.truncated);
+    assert_eq!(r.counts.evaluated + r.counts.discarded(), 24);
+    assert_eq!(r.counts.eval_failed, r.errors.len());
+    assert!(!r.points.is_empty());
+    assert!(!r.pareto.is_empty());
+    for w in r.pareto_points().collect::<Vec<_>>().windows(2) {
+        assert!(w[0].cycles <= w[1].cycles);
+        assert!(w[0].area.alms >= w[1].area.alms);
+    }
+}
+
+#[test]
+fn surrogate_and_random_share_checkpoints_with_nobody() {
+    // A random-strategy checkpoint must not be resumed by a surrogate
+    // run of the same seed/budget (indices mean different things), and
+    // vice versa — the header pins the strategy.
+    let est = estimator();
+    let path = ckpt_path("cross");
+    let _ = std::fs::remove_file(&path);
+    let surrogate_opts = DseOptions {
+        checkpoint: Some(path.clone()),
+        deadline: Some(Duration::ZERO),
+        ..opts(24)
+    };
+    let partial = explore(build_dot, &space(), est, &surrogate_opts);
+    assert!(partial.truncated);
+    assert!(path.exists());
+    // A random run over the same checkpoint path starts fresh (stale
+    // header) and still produces the canonical random result.
+    let random_opts = DseOptions {
+        max_points: 24,
+        checkpoint: Some(path.clone()),
+        ..DseOptions::default()
+    };
+    let random = explore(build_dot, &space(), est, &random_opts);
+    let random_reference = explore(
+        build_dot,
+        &space(),
+        est,
+        &DseOptions {
+            max_points: 24,
+            ..DseOptions::default()
+        },
+    );
+    assert_eq!(random, random_reference);
+    let _ = std::fs::remove_file(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The headline determinism property: for any seed, the surrogate
+    /// strategy produces bit-identical results on 1, 2 and 8 threads
+    /// and across a checkpoint interrupt/resume cycle.
+    #[test]
+    fn surrogate_is_deterministic_for_any_seed(seed in 0u64..1_000_000) {
+        let est = estimator();
+        let base = DseOptions { seed, ..opts(16) };
+        let single = explore(build_dot, &space(), est, &base);
+        for threads in [2usize, 8] {
+            let o = DseOptions { threads, ..base.clone() };
+            prop_assert_eq!(&explore(build_dot, &space(), est, &o), &single);
+        }
+        // Interrupt at a zero deadline, then resume to completion.
+        let path = ckpt_path(&format!("prop-{seed}"));
+        let _ = std::fs::remove_file(&path);
+        let interrupted = DseOptions {
+            deadline: Some(Duration::ZERO),
+            checkpoint: Some(path.clone()),
+            ..base.clone()
+        };
+        let partial = explore(build_dot, &space(), est, &interrupted);
+        prop_assert!(partial.truncated);
+        let resume = DseOptions { checkpoint: Some(path.clone()), ..base.clone() };
+        let resumed = explore(build_dot, &space(), est, &resume);
+        prop_assert_eq!(&resumed, &single);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -46,26 +46,56 @@ impl Regressor {
     /// Fit a regressor on `(features, target)` samples using a
     /// `[n_features, hidden, 1]` network.
     ///
+    /// Samples with a non-finite feature or target are skipped (and
+    /// counted on the `mlp.train.skipped_nonfinite` obs counter) rather
+    /// than fitted: a single NaN target would otherwise poison every
+    /// gradient and silently ruin the whole network — exactly what an
+    /// injected estimator fault must not be able to do to a DSE
+    /// surrogate.
+    ///
     /// # Panics
     ///
-    /// Panics if `samples` is empty.
+    /// Panics if no finite sample remains; use [`Regressor::try_fit`]
+    /// for untrusted data.
     pub fn fit(samples: &[(Vec<f64>, f64)], hidden: usize, seed: u64, cfg: &TrainConfig) -> Self {
-        assert!(!samples.is_empty(), "cannot fit a regressor to no data");
-        let xs: Vec<Vec<f64>> = samples.iter().map(|(x, _)| x.clone()).collect();
-        let ys: Vec<Vec<f64>> = samples.iter().map(|&(_, y)| vec![y]).collect();
+        Self::try_fit(samples, hidden, seed, cfg)
+            .expect("cannot fit a regressor to no (finite) data")
+    }
+
+    /// The non-panicking form of [`Regressor::fit`]: `None` when
+    /// `samples` contains no finite sample to train on.
+    pub fn try_fit(
+        samples: &[(Vec<f64>, f64)],
+        hidden: usize,
+        seed: u64,
+        cfg: &TrainConfig,
+    ) -> Option<Self> {
+        let finite: Vec<&(Vec<f64>, f64)> = samples
+            .iter()
+            .filter(|(x, y)| y.is_finite() && x.iter().all(|v| v.is_finite()))
+            .collect();
+        let skipped = samples.len() - finite.len();
+        if skipped > 0 {
+            dhdl_obs::counter!("mlp.train.skipped_nonfinite").add(skipped as u64);
+        }
+        if finite.is_empty() {
+            return None;
+        }
+        let xs: Vec<Vec<f64>> = finite.iter().map(|(x, _)| x.clone()).collect();
+        let ys: Vec<Vec<f64>> = finite.iter().map(|&&(_, y)| vec![y]).collect();
         let inputs = Normalizer::fit(&xs);
         let outputs = Normalizer::fit(&ys);
         let mut data = Dataset::new();
-        for ((x, _), y) in samples.iter().zip(&ys) {
+        for ((x, _), y) in finite.iter().zip(&ys) {
             data.push(&inputs.apply(x), &outputs.apply(y));
         }
         let mut net = Mlp::new(&[xs[0].len(), hidden, 1], Activation::Sigmoid, seed);
         train_rprop(&mut net, &data, cfg);
-        Regressor {
+        Some(Regressor {
             net,
             inputs,
             outputs,
-        }
+        })
     }
 
     /// Predict the target for one feature vector.
@@ -125,6 +155,54 @@ mod tests {
         for (x, y) in &samples {
             assert!((r.predict(x) - y).abs() < 0.08, "x={x:?} y={y}");
         }
+    }
+
+    #[test]
+    fn training_is_bit_identical_per_seed() {
+        // The DSE surrogate's determinism story rests on this: the same
+        // seed and data must yield byte-identical weights — so the whole
+        // serialized model, and every prediction, must match bit for bit.
+        let samples: Vec<(Vec<f64>, f64)> = (0..30)
+            .map(|i| {
+                let x = i as f64 / 30.0;
+                (vec![x, 1.0 - x], (2.0 * x - 0.3).sin())
+            })
+            .collect();
+        let cfg = TrainConfig::default();
+        let a = Regressor::fit(&samples, 6, 1234, &cfg);
+        let b = Regressor::fit(&samples, 6, 1234, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.to_text(), b.to_text());
+        assert_eq!(
+            a.predict(&[0.4, 0.6]).to_bits(),
+            b.predict(&[0.4, 0.6]).to_bits()
+        );
+        // A different seed initializes differently.
+        let c = Regressor::fit(&samples, 6, 1235, &cfg);
+        assert_ne!(a.to_text(), c.to_text());
+    }
+
+    #[test]
+    fn non_finite_samples_are_skipped_not_propagated() {
+        let mut samples: Vec<(Vec<f64>, f64)> = (0..20)
+            .map(|i| {
+                let x = i as f64 / 20.0;
+                (vec![x], 2.0 * x + 0.5)
+            })
+            .collect();
+        let clean = Regressor::fit(&samples, 4, 7, &TrainConfig::default());
+        // Poison the set with NaN/inf targets and a NaN feature: the fit
+        // must match a fit on the clean subset exactly.
+        samples.push((vec![0.3], f64::NAN));
+        samples.push((vec![0.6], f64::INFINITY));
+        samples.push((vec![f64::NAN], 1.0));
+        let guarded = Regressor::fit(&samples, 4, 7, &TrainConfig::default());
+        assert_eq!(clean, guarded);
+        assert!(guarded.predict(&[0.5]).is_finite());
+        // All-poison data refuses to fit instead of panicking.
+        let poison = vec![(vec![0.1], f64::NAN)];
+        assert!(Regressor::try_fit(&poison, 4, 7, &TrainConfig::default()).is_none());
+        assert!(Regressor::try_fit(&[], 4, 7, &TrainConfig::default()).is_none());
     }
 
     #[test]

@@ -119,6 +119,7 @@ fn client_loop(
                 bench: pop.bench.to_string(),
                 points: 40,
                 seed: seed ^ n,
+                strategy: None,
             });
             req.header.tenant = format!("loadgen-{}", seed & 0xF);
             req.header.priority = u8::from(n.is_multiple_of(3));

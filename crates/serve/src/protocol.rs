@@ -12,7 +12,7 @@
 //! | `stats` | — | request/admission/cache counters |
 //! | `submit` | `bench` | design validated; legal-space size |
 //! | `estimate` | `bench`, `params` | bit-exact estimate for one point |
-//! | `sweep` | `bench`, `points`, `seed` | full DSE result (points + front) |
+//! | `sweep` | `bench`, `points`, `seed`, [`strategy`] | full DSE result (points + front) |
 //! | `shutdown` | — | begins graceful drain |
 //!
 //! Common header fields: `tenant` (admission-queue key, default
@@ -32,7 +32,7 @@
 use std::collections::BTreeMap;
 
 use dhdl_core::ParamValues;
-use dhdl_dse::DesignPoint;
+use dhdl_dse::{DesignPoint, SearchStrategy};
 use dhdl_target::AreaReport;
 
 use crate::json::Json;
@@ -135,6 +135,10 @@ pub enum Op {
         points: usize,
         /// Sampling seed.
         seed: u64,
+        /// Search strategy (`random`/`surrogate` on the wire). `None`
+        /// leaves the choice to the server (its `DHDL_DSE_STRATEGY`
+        /// environment).
+        strategy: Option<SearchStrategy>,
     },
     /// Begin graceful drain (stop accepting, finish in-flight work,
     /// flush caches, exit).
@@ -247,6 +251,18 @@ impl Request {
                     .ok_or_else(|| ProtoError::new("bad_request", "missing integer `points`"))?
                     as usize,
                 seed: obj.get("seed").and_then(Json::as_u64).unwrap_or(0xD5E),
+                strategy: match obj.get("strategy") {
+                    None => None,
+                    Some(s) => {
+                        let name = s.as_str().ok_or_else(|| {
+                            ProtoError::new("bad_request", "`strategy` must be a string")
+                        })?;
+                        Some(
+                            SearchStrategy::parse(name)
+                                .map_err(|e| ProtoError::new("bad_request", e))?,
+                        )
+                    }
+                },
             },
             other => {
                 return Err(ProtoError::new(
@@ -286,10 +302,14 @@ impl Request {
                 bench,
                 points,
                 seed,
+                strategy,
             } => {
                 map.insert("bench".to_string(), Json::Str(bench.clone()));
                 map.insert("points".to_string(), Json::Num(*points as f64));
                 map.insert("seed".to_string(), Json::Num(*seed as f64));
+                if let Some(s) = strategy {
+                    map.insert("strategy".to_string(), Json::Str(s.name().to_string()));
+                }
             }
         }
         Json::Obj(map).render().into_bytes()
@@ -406,8 +426,15 @@ mod tests {
                     bench: "gemm".into(),
                     points: 300,
                     seed: 42,
+                    strategy: None,
                 },
             },
+            Request::new(Op::Sweep {
+                bench: "gemm".into(),
+                points: 40,
+                seed: 7,
+                strategy: Some(SearchStrategy::parse("surrogate").unwrap()),
+            }),
             Request::new(Op::Estimate {
                 bench: "dotproduct".into(),
                 params: ParamValues::new().with("tile", 64).with("par", 4),
@@ -432,6 +459,14 @@ mod tests {
             (br#"{"op":"warp"}"#, "unknown_op"),
             (br#"{"op":"sweep"}"#, "bad_request"),
             (br#"{"op":"sweep","bench":"gemm"}"#, "bad_request"),
+            (
+                br#"{"op":"sweep","bench":"gemm","points":10,"strategy":"genetic"}"#,
+                "bad_request",
+            ),
+            (
+                br#"{"op":"sweep","bench":"gemm","points":10,"strategy":7}"#,
+                "bad_request",
+            ),
             (br#"{"op":"estimate","bench":"gemm"}"#, "bad_request"),
             (
                 br#"{"op":"estimate","bench":"g","params":{"tile":1.5}}"#,

@@ -39,7 +39,7 @@ use dhdl_apps::Benchmark;
 use dhdl_core::{structural_hash, Fnv64, ParamValues};
 use dhdl_dse::{
     explore, model_fingerprint, params_key, with_silent_panics, CachedModel, CostModel, DseOptions,
-    EstimateCache, FaultConfig, FaultInjector, LegalSpace,
+    EstimateCache, FaultConfig, FaultInjector, LegalSpace, SearchStrategy,
 };
 use dhdl_estimate::{Estimate, Estimator};
 use dhdl_target::Platform;
@@ -481,7 +481,8 @@ fn dispatch(state: &State, req: &Request) -> Json {
             bench,
             points,
             seed,
-        } => handle_sweep(state, &req.header, bench, *points, *seed),
+            strategy,
+        } => handle_sweep(state, &req.header, bench, *points, *seed, strategy.as_ref()),
     };
     let us = t0.elapsed().as_micros() as u64;
     dhdl_obs::histogram!("serve.req.us").record(us);
@@ -687,6 +688,7 @@ fn handle_sweep(
     bench_name: &str,
     points: usize,
     seed: u64,
+    strategy: Option<&SearchStrategy>,
 ) -> Json {
     let Some(bench) = dhdl_apps::by_name(bench_name) else {
         return unknown_bench(bench_name);
@@ -715,6 +717,9 @@ fn handle_sweep(
         deadline,
         checkpoint,
         cache_salt: Some(state.salt_for(bench.as_ref())),
+        // The request's strategy wins; absent one, the server operator's
+        // DHDL_DSE_STRATEGY environment decides (default random).
+        strategy: strategy.cloned().unwrap_or_else(SearchStrategy::from_env),
         ..DseOptions::default()
     };
     let space = bench.param_space();

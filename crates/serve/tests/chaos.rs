@@ -133,6 +133,7 @@ fn chaotic_server_sweep_is_bit_identical_to_fault_free_in_process() {
         bench: BENCH.to_string(),
         points: POINTS,
         seed: SEED,
+        strategy: None,
     });
     // The idempotency key: every chaos-forced retry resumes the same
     // server-side checkpoint instead of restarting the sweep.
@@ -198,6 +199,7 @@ fn deadline_truncates_and_idempotent_retry_resumes() {
         bench: BENCH.to_string(),
         points: POINTS,
         seed: SEED,
+        strategy: None,
     });
     first.header.key = Some("resume-me".to_string());
     first.header.deadline_ms = Some(0);

@@ -54,6 +54,7 @@ fn overloaded_sweeps_are_rejected_explicitly_and_queues_stay_bounded() {
                         bench: "dotproduct".to_string(),
                         points: 150,
                         seed: 0x0DD + i,
+                        strategy: None,
                     });
                     req.header.tenant = format!("tenant-{i}");
                     req.header.priority = 2;

@@ -48,6 +48,19 @@ for b in table2 table3 table4 fig5 fig6 energy ablations; do
   cargo run -q -p dhdl-bench --bin "$b" --release
 done
 
+# Search-strategy comparison: the surrogate-guided DSE against the
+# random sweep at 10% of its budget (results/BENCH_dse.json). dsebench
+# exits nonzero — failing this script loudly — if the surrogate front's
+# hypervolume regresses below DHDL_DSEBENCH_FLOOR (default 90%) of the
+# random front's on any benchmark, or if its determinism re-run
+# diverges. Budget-capped via DHDL_DSEBENCH_POINTS; set it to 0 to skip.
+DHDL_DSEBENCH_POINTS="${DHDL_DSEBENCH_POINTS:-1500}"
+if [ "$DHDL_DSEBENCH_POINTS" -gt 0 ]; then
+  echo "=== dsebench (random@$DHDL_DSEBENCH_POINTS vs surrogate@10%) ==="
+  DHDL_DSEBENCH_POINTS="$DHDL_DSEBENCH_POINTS" \
+    cargo run -q -p dhdl-bench --bin dsebench --release
+fi
+
 # DSE-as-a-service smoke: a few seconds of Zipf-skewed multi-tenant
 # traffic against a live dhdl-serve instance, recording throughput and
 # hit/miss latency percentiles (results/BENCH_serve.json). The load
