@@ -14,6 +14,11 @@
 //! | `gda` | Gaussian discriminant analysis | R = 360,000, D = 96 |
 //! | `kmeans` | k-means clustering | 960,000 pts, k = 8, dim = 384 |
 //!
+//! Beyond the paper's suite, the [`dnn`] registry adds the post-paper
+//! DNN workload frontier: `conv2d` (line-buffer tiles, tile-parallel
+//! output channels) and `attention` (GEMM–softmax–GEMM), benchmarked by
+//! the `dnnbench` binary.
+//!
 //! Default dataset sizes are scaled down uniformly so the whole evaluation
 //! runs on a laptop-class machine; every benchmark type also has a
 //! size-parameterized constructor for tests. All benchmarks operate on
@@ -31,7 +36,9 @@
 
 #![warn(missing_docs)]
 
+pub mod attention;
 pub mod blackscholes;
+pub mod conv2d;
 pub mod data;
 pub mod dotproduct;
 pub mod gda;
@@ -47,7 +54,9 @@ use std::collections::BTreeMap;
 use dhdl_core::{Design, ParamSpace, ParamValues, Result};
 use dhdl_hls::HlsKernel;
 
+pub use attention::Attention;
 pub use blackscholes::BlackScholes;
+pub use conv2d::Conv2d;
 pub use dotproduct::DotProduct;
 pub use gda::Gda;
 pub use gemm::Gemm;
@@ -162,9 +171,17 @@ pub fn all() -> Vec<Box<dyn Benchmark>> {
     ]
 }
 
-/// Look up a benchmark by name.
+/// The DNN workload frontier (post-paper): conv2d and attention at their
+/// default (scaled) sizes. Kept out of [`all`] so the Table II suite
+/// stays pinned to the paper's seven kernels.
+pub fn dnn() -> Vec<Box<dyn Benchmark>> {
+    vec![Box::new(Conv2d::default()), Box::new(Attention::default())]
+}
+
+/// Look up a benchmark by name, across the Table II suite and the DNN
+/// workload frontier.
 pub fn by_name(name: &str) -> Option<Box<dyn Benchmark>> {
-    all().into_iter().find(|b| b.name() == name)
+    all().into_iter().chain(dnn()).find(|b| b.name() == name)
 }
 
 #[cfg(test)]
@@ -194,6 +211,25 @@ mod tests {
     fn lookup_by_name() {
         assert!(by_name("gda").is_some());
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn dnn_frontier_benchmarks() {
+        let suite = dnn();
+        let names: Vec<&str> = suite.iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["conv2d", "attention"]);
+        for b in &suite {
+            let space = b.param_space();
+            let p = b.default_params();
+            assert!(space.is_legal(&p), "{}: {p}", b.name());
+            assert!(space.size() >= 8, "{} space too small", b.name());
+            let d = b.build(&p).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+            assert_eq!(d.name(), b.name());
+            assert!(b.work().total_flops() > 0.0, "{}", b.name());
+            assert!(b.work().bytes() > 0.0, "{}", b.name());
+        }
+        assert!(by_name("conv2d").is_some());
+        assert!(by_name("attention").is_some());
     }
 
     #[test]

@@ -110,7 +110,7 @@ fn opt_str(rest: &[String], name: &str) -> Option<String> {
 
 fn list() {
     let mut t = Table::new(&["benchmark", "description", "scaled dataset", "space size"]);
-    for b in dhdl_apps::all() {
+    for b in dhdl_apps::all().into_iter().chain(dhdl_apps::dnn()) {
         t.row(&[
             b.name().to_string(),
             b.description().to_string(),

@@ -1,0 +1,340 @@
+//! `dnnbench` — the DNN workload frontier: conv2d + attention.
+//!
+//! For each DNN-shaped benchmark (a 3x3 line-buffer convolution and an
+//! attention-shaped GEMM–softmax–GEMM pipeline) this runs the Figure-5
+//! and Figure-6 pipelines side by side: explore the design space under
+//! *both* search strategies (pure random and surrogate-guided), emit the
+//! Pareto fronts, simulate the fastest design under both simulator
+//! backends with a bit-exact cross-check, and compare modeled FPGA time
+//! against the modeled Xeon CPU time. Table-III-style estimator errors
+//! on Pareto picks are *reported* (these workloads sit outside the
+//! calibration set by design), not gated.
+//!
+//! Everything written to `results/BENCH_dnn.json` is a deterministic
+//! modeled quantity: the file is byte-identical across reruns and across
+//! `DHDL_DSE_THREADS` settings. Wall-clock timing goes to stderr only.
+//! `DHDL_DNN_POINTS` (default 2000) sets the DSE sample budget.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dhdl_bench::report::{pct, times, write_result, Table};
+use dhdl_bench::Harness;
+use dhdl_cpu::XeonModel;
+use dhdl_dse::{DseResult, SearchStrategy, SurrogateConfig};
+use dhdl_sim::{compile, simulate, Bindings, CompileError, SimResult};
+
+/// Harness seed — must match `crates/bench/tests/dnn_golden.rs`.
+const SEED: u64 = 0xD4D2;
+/// Pareto picks per benchmark for the estimator-error report.
+const PARETO_N: usize = 4;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One strategy's exploration outcome, reduced to deterministic values.
+struct StrategyRun {
+    strategy: &'static str,
+    evaluated: usize,
+    valid: usize,
+    /// `(params, cycles, alm_frac, dsp_frac, bram_frac)` per front point.
+    front: Vec<(String, f64, f64, f64, f64)>,
+    best_params: String,
+    best_cycles: f64,
+}
+
+/// One benchmark's full record for the JSON artifact.
+struct BenchRecord {
+    name: String,
+    space_size: u128,
+    strategies: Vec<StrategyRun>,
+    sim_cycles: f64,
+    bit_identical: Option<bool>,
+    fpga_s: f64,
+    cpu_s: f64,
+    speedup: f64,
+    bottleneck: String,
+    /// Average `(alm, dsp, bram, runtime)` relative model errors.
+    errors: [f64; 4],
+}
+
+fn run_strategy(
+    harness: &Harness,
+    bench: &dyn dhdl_apps::Benchmark,
+    strategy: &'static str,
+    dse: &DseResult,
+) -> StrategyRun {
+    let target = &harness.platform.fpga;
+    let mut front: Vec<(String, f64, f64, f64, f64)> = dse
+        .pareto
+        .iter()
+        .map(|&i| {
+            let p = &dse.points[i];
+            let (a, d, b) = p.area.utilization(target);
+            (p.params.to_string(), p.cycles, a, d, b)
+        })
+        .collect();
+    front.sort_by(|x, y| x.1.total_cmp(&y.1).then_with(|| x.0.cmp(&y.0)));
+    let best = dse
+        .best()
+        .unwrap_or_else(|| panic!("{}: no valid design found", bench.name()));
+    let mut csv = String::from("params,cycles,alm_frac,dsp_frac,bram_frac\n");
+    for (p, c, a, d, b) in &front {
+        let _ = writeln!(csv, "\"{p}\",{c:.0},{a:.4},{d:.4},{b:.4}");
+    }
+    let path = write_result(&format!("dnn_front_{}_{strategy}.csv", bench.name()), &csv);
+    println!(
+        "  {strategy}: {} evaluated, {} on front, best {:.0} cycles (wrote {})",
+        dse.counts.evaluated,
+        front.len(),
+        best.cycles,
+        path.display()
+    );
+    StrategyRun {
+        strategy,
+        evaluated: dse.counts.evaluated,
+        valid: dse.points.iter().filter(|p| p.valid).count(),
+        front,
+        best_params: best.params.to_string(),
+        best_cycles: best.cycles,
+    }
+}
+
+/// Simulate `design` under both backends and bit-compare; returns the
+/// interpreter result plus `Some(identical)` when the tape backend
+/// supports the design (`None` on `CompileError::Unsupported`).
+fn cross_simulate(
+    harness: &Harness,
+    bench: &dyn dhdl_apps::Benchmark,
+    design: &dhdl_core::Design,
+) -> (SimResult, Option<bool>) {
+    let mut bindings = Bindings::new();
+    for (name, data) in bench.inputs() {
+        bindings = bindings.bind(&name, data);
+    }
+    let interp = simulate(design, &harness.platform, &bindings)
+        .unwrap_or_else(|e| panic!("{}: interpreter failed: {e}", bench.name()));
+    let identical = match compile(design, &harness.platform) {
+        Ok(compiled) => {
+            let tape = compiled
+                .run(&bindings)
+                .unwrap_or_else(|e| panic!("{}: tape backend failed: {e}", bench.name()));
+            match interp.bit_diff(&tape) {
+                None => Some(true),
+                Some(diff) => {
+                    println!("  BACKEND MISMATCH: {diff}");
+                    Some(false)
+                }
+            }
+        }
+        Err(CompileError::Unsupported(why)) => {
+            eprintln!("{}: tape backend unsupported ({why})", bench.name());
+            None
+        }
+    };
+    (interp, identical)
+}
+
+fn write_json(points: usize, records: &[BenchRecord], mean_errors: [f64; 4]) {
+    let mut json = String::new();
+    let _ = writeln!(json, "{{\n  \"seed\": {SEED},\n  \"points\": {points},");
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"space_size\": {},",
+            r.name, r.space_size
+        );
+        json.push_str("     \"strategies\": [\n");
+        for (j, s) in r.strategies.iter().enumerate() {
+            let _ = write!(
+                json,
+                "       {{\"strategy\": \"{}\", \"evaluated\": {}, \"valid\": {}, \
+                 \"best_params\": \"{}\", \"best_cycles\": {:.0}, \"front\": [",
+                s.strategy, s.evaluated, s.valid, s.best_params, s.best_cycles
+            );
+            for (k, (p, c, a, d, b)) in s.front.iter().enumerate() {
+                let _ = write!(
+                    json,
+                    "{}{{\"params\": \"{p}\", \"cycles\": {c:.0}, \"alm\": {a:.4}, \
+                     \"dsp\": {d:.4}, \"bram\": {b:.4}}}",
+                    if k > 0 { ", " } else { "" }
+                );
+            }
+            let _ = writeln!(
+                json,
+                "]}}{}",
+                if j + 1 < r.strategies.len() { "," } else { "" }
+            );
+        }
+        json.push_str("     ],\n");
+        let bitid = r
+            .bit_identical
+            .map_or("null".to_string(), |b| b.to_string());
+        let _ = writeln!(
+            json,
+            "     \"sim_cycles\": {:.0}, \"backends_bit_identical\": {bitid},",
+            r.sim_cycles
+        );
+        let _ = writeln!(
+            json,
+            "     \"fpga_ms\": {:.4}, \"cpu_model_ms\": {:.4}, \"speedup\": {:.3},",
+            r.fpga_s * 1e3,
+            r.cpu_s * 1e3,
+            r.speedup
+        );
+        let _ = writeln!(json, "     \"bottleneck\": \"{}\",", r.bottleneck);
+        let _ = writeln!(
+            json,
+            "     \"model_errors\": {{\"alm\": {:.4}, \"dsp\": {:.4}, \"bram\": {:.4}, \
+             \"runtime\": {:.4}}}}}{}",
+            r.errors[0],
+            r.errors[1],
+            r.errors[2],
+            r.errors[3],
+            if i + 1 < records.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"mean_model_errors\": {{\"alm\": {:.4}, \"dsp\": {:.4}, \"bram\": {:.4}, \
+         \"runtime\": {:.4}}}\n}}",
+        mean_errors[0], mean_errors[1], mean_errors[2], mean_errors[3]
+    );
+    let path = write_result("BENCH_dnn.json", &json);
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    dhdl_obs::init_from_env();
+    let points = env_usize("DHDL_DNN_POINTS", 2_000);
+    let start = Instant::now();
+    eprintln!("calibrating estimator...");
+    let mut harness = Harness::new(SEED, points);
+    let xeon = XeonModel::default();
+    let strategies: [(&'static str, SearchStrategy); 2] = [
+        ("random", SearchStrategy::Random),
+        (
+            "surrogate",
+            SearchStrategy::Surrogate(SurrogateConfig::default()),
+        ),
+    ];
+
+    let mut records = Vec::new();
+    for bench in dhdl_apps::dnn() {
+        println!("=== {} ({points} samples/strategy) ===", bench.name());
+        let mut runs = Vec::new();
+        let mut random_dse = None;
+        let mut space_size = 0;
+        for (name, strategy) in &strategies {
+            eprintln!("exploring {} [{name}]...", bench.name());
+            harness.dse.strategy = strategy.clone();
+            let dse = harness.explore(bench.as_ref());
+            eprintln!("  {}", dse.stats.summary());
+            space_size = dse.space_size;
+            runs.push(run_strategy(&harness, bench.as_ref(), name, &dse));
+            if *name == "random" {
+                random_dse = Some(dse);
+            }
+        }
+        let dse = random_dse.expect("random strategy ran");
+
+        // Fastest random-front design: simulate under both backends and
+        // compare against the modeled CPU time (fig6 pipeline).
+        let best = dse
+            .best()
+            .unwrap_or_else(|| panic!("{}: no valid design found", bench.name()));
+        let design = bench.build(&best.params).expect("best point builds");
+        eprintln!("simulating best design ({})...", best.params);
+        let (sim, bit_identical) = cross_simulate(&harness, bench.as_ref(), &design);
+        let fpga_s = sim.seconds(&harness.platform);
+        let cpu_s = xeon.seconds(&bench.work());
+        let est = dhdl_estimate::Estimate {
+            cycles: best.cycles,
+            area: best.area,
+        };
+        let bottleneck = dhdl_estimate::classify(&design, &est, &harness.platform).to_string();
+
+        // Table-III-style model errors on a spread of Pareto picks.
+        let picks = harness.pareto_sample(&dse, PARETO_N);
+        let mut errors = [0.0f64; 4];
+        for p in &picks {
+            let eval = harness.evaluate(bench.as_ref(), p);
+            let (a, d, b, r) = eval.errors();
+            errors[0] += a;
+            errors[1] += d;
+            errors[2] += b;
+            errors[3] += r;
+        }
+        for e in &mut errors {
+            *e /= picks.len().max(1) as f64;
+        }
+
+        records.push(BenchRecord {
+            name: bench.name().to_string(),
+            space_size,
+            strategies: runs,
+            sim_cycles: sim.cycles,
+            bit_identical,
+            fpga_s,
+            cpu_s,
+            speedup: cpu_s / fpga_s,
+            bottleneck,
+            errors,
+        });
+    }
+
+    let mut t = Table::new(&[
+        "Benchmark",
+        "space",
+        "best params (random)",
+        "sim cycles",
+        "FPGA (ms)",
+        "CPU model (ms)",
+        "Speedup",
+        "bit-identical",
+        "bottleneck",
+        "err ALM/DSP/BRAM/runtime",
+    ]);
+    let mut mean = [0.0f64; 4];
+    for r in &records {
+        for (m, e) in mean.iter_mut().zip(r.errors) {
+            *m += e / records.len() as f64;
+        }
+        t.row(&[
+            r.name.clone(),
+            r.space_size.to_string(),
+            r.strategies[0].best_params.clone(),
+            format!("{:.0}", r.sim_cycles),
+            format!("{:.3}", r.fpga_s * 1e3),
+            format!("{:.3}", r.cpu_s * 1e3),
+            times(r.speedup),
+            r.bit_identical.map_or("n/a".to_string(), |b| b.to_string()),
+            r.bottleneck.clone(),
+            format!(
+                "{}/{}/{}/{}",
+                pct(r.errors[0]),
+                pct(r.errors[1]),
+                pct(r.errors[2]),
+                pct(r.errors[3])
+            ),
+        ]);
+    }
+    println!("\nDNN workload frontier: Pareto + speedup summary\n");
+    println!("{}", t.render());
+    println!(
+        "mean model errors: ALM {} / DSP {} / BRAM {} / runtime {}",
+        pct(mean[0]),
+        pct(mean[1]),
+        pct(mean[2]),
+        pct(mean[3])
+    );
+    write_json(points, &records, mean);
+    eprintln!("dnnbench: done in {:.1}s", start.elapsed().as_secs_f64());
+    dhdl_obs::finish("dnnbench");
+}

@@ -1,0 +1,215 @@
+//! Golden regression for the DNN workload frontier (conv2d + attention).
+//!
+//! The full-scale run is the `dnnbench` binary; this test pins the same
+//! computations at a reduced configuration so every `cargo test`
+//! invocation guards the frontier against drift:
+//!
+//! - the CPU reference kernels' outputs, pinned as FNV checksums over
+//!   the exact IEEE-754 bits (the simulator, the `dhdl-cpu` kernels and
+//!   the conformance references are all bit-exact against these),
+//! - estimator finiteness and monotonicity in parallelism,
+//! - seed-stable DSE Pareto fronts under both search strategies,
+//! - Table-III-style model errors within a golden band (the precise
+//!   errors are *reported* by `dnnbench` into EXPERIMENTS.md, not gated;
+//!   the band here only catches order-of-magnitude regressions).
+
+use dhdl_apps::{Attention, Benchmark, Conv2d};
+use dhdl_bench::Harness;
+use dhdl_core::Fnv64;
+use dhdl_dse::{SearchStrategy, SurrogateConfig};
+
+/// DSE sample budget (the full run uses more).
+const DSE_POINTS: usize = 60;
+/// Pareto picks per benchmark.
+const PARETO_N: usize = 3;
+/// Harness seed — must match the `dnnbench` binary.
+const SEED: u64 = 0xD4D2;
+
+/// FNV-64 over the reference `out` bits for `Conv2d::new(18, 4)`.
+const CONV_CHECKSUM: u64 = 0x307598b39777bfff;
+/// FNV-64 over the reference `out` bits for `Attention::new(16)`.
+const ATTN_CHECKSUM: u64 = 0xea0d99ebdcb9c7ff;
+
+/// Measured `(alm, dsp, bram, runtime)` average errors at this config.
+const GOLDEN: [f64; 4] = [0.0318, 0.0632, 0.0708, 0.1276];
+/// Absolute tolerance per axis (wider than table3: these workloads sit
+/// outside the calibration set by design).
+const TOL: f64 = 0.06;
+/// Hard ceiling per axis.
+const CEILING: [f64; 4] = [0.30, 0.30, 0.35, 0.35];
+
+fn benches() -> Vec<Box<dyn Benchmark>> {
+    vec![Box::new(Conv2d::new(18, 4)), Box::new(Attention::new(16))]
+}
+
+fn checksum(arrays: &dhdl_apps::Arrays) -> u64 {
+    let mut h = Fnv64::new();
+    for (name, data) in arrays {
+        h.write(name.as_bytes());
+        for v in data {
+            h.write_u64(v.to_bits());
+        }
+    }
+    h.finish()
+}
+
+#[test]
+fn reference_checksums_are_pinned() {
+    let golden = [CONV_CHECKSUM, ATTN_CHECKSUM];
+    for (bench, want) in benches().iter().zip(golden) {
+        let reference = bench.reference();
+        let got = checksum(&reference);
+        assert_eq!(
+            got,
+            want,
+            "{}: reference checksum {got:#018x} != golden {want:#018x}",
+            bench.name()
+        );
+        // The optimized CPU kernel reproduces the reference bit-for-bit
+        // at any thread count (row partitioning is order-preserving).
+        for threads in [1, 4] {
+            let cpu = dhdl_cpu::run(bench.as_ref(), threads);
+            assert_eq!(
+                checksum(&cpu.outputs),
+                want,
+                "{}: CPU kernel ({threads} threads) diverged from reference",
+                bench.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn estimates_are_finite_and_monotone_in_par() {
+    let h = Harness::new(SEED, DSE_POINTS);
+    for bench in benches() {
+        let space = bench.param_space();
+        let defaults = bench.default_params();
+        assert!(space.is_legal(&defaults), "{}", bench.name());
+        let design = bench.build(&defaults).unwrap();
+        let est = h.estimator.estimate(&design);
+        assert!(
+            est.cycles.is_finite() && est.cycles > 0.0,
+            "{}: cycles {}",
+            bench.name(),
+            est.cycles
+        );
+        for a in [est.area.alms, est.area.regs, est.area.dsps, est.area.brams] {
+            assert!(a.is_finite() && a >= 0.0, "{}: area {a}", bench.name());
+        }
+        // Widening the lane parallelism can only add raw datapath area
+        // and can only help modeled runtime.
+        let (par_name, wide_par) = match bench.name() {
+            "conv2d" => ("pj", 4u64),
+            _ => ("pa", 4u64),
+        };
+        let narrow = design;
+        let wide = bench
+            .build(&defaults.clone().with(par_name, wide_par))
+            .unwrap();
+        let (na, wa) = (h.estimator.raw_area(&narrow), h.estimator.raw_area(&wide));
+        assert!(
+            wa.alms + 1.0 + na.alms * 0.01 >= na.alms,
+            "{}: par={wide_par} raw alms {} below serial {}",
+            bench.name(),
+            wa.alms,
+            na.alms
+        );
+        let (nc, wc) = (h.estimator.cycles(&narrow), h.estimator.cycles(&wide));
+        assert!(
+            wc <= nc * 1.05 + 16.0,
+            "{}: par={wide_par} modeled {wc:.0} cycles, slower than {nc:.0}",
+            bench.name()
+        );
+    }
+}
+
+fn front_hash(h: &Harness, bench: &dyn Benchmark) -> u64 {
+    let result = h.explore(bench);
+    assert!(!result.pareto.is_empty(), "{}: empty front", bench.name());
+    let mut hash = Fnv64::new();
+    let mut fronts: Vec<String> = result
+        .pareto
+        .iter()
+        .map(|&i| result.points[i].params.to_string())
+        .collect();
+    fronts.sort();
+    for f in &fronts {
+        hash.write(f.as_bytes());
+    }
+    hash.finish()
+}
+
+#[test]
+fn dse_fronts_are_seed_stable_under_both_strategies() {
+    for strategy in [
+        SearchStrategy::Random,
+        SearchStrategy::Surrogate(SurrogateConfig::default()),
+    ] {
+        let mut h = Harness::new(SEED, DSE_POINTS);
+        h.dse.strategy = strategy.clone();
+        for bench in benches() {
+            let a = front_hash(&h, bench.as_ref());
+            let b = front_hash(&h, bench.as_ref());
+            assert_eq!(
+                a,
+                b,
+                "{} ({strategy:?}): re-running DSE changed the Pareto front",
+                bench.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn dnn_model_errors_match_golden_band() {
+    let harness = Harness::new(SEED, DSE_POINTS);
+    let benches = benches();
+    let mut sums = [0.0f64; 4];
+    for bench in &benches {
+        let dse = harness.explore(bench.as_ref());
+        let picks = harness.pareto_sample(&dse, PARETO_N);
+        assert!(
+            !picks.is_empty(),
+            "{}: DSE produced no Pareto points",
+            bench.name()
+        );
+        let mut errs = [0.0f64; 4];
+        for p in &picks {
+            let eval = harness.evaluate(bench.as_ref(), p);
+            let (a, d, b, r) = eval.errors();
+            errs[0] += a;
+            errs[1] += d;
+            errs[2] += b;
+            errs[3] += r;
+        }
+        let n = picks.len() as f64;
+        for (s, e) in sums.iter_mut().zip(errs) {
+            *s += e / n;
+        }
+    }
+    let n = benches.len() as f64;
+    eprintln!(
+        "measured dnn errors: [{:.4}, {:.4}, {:.4}, {:.4}]",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n,
+        sums[3] / n
+    );
+    let axes = ["ALM", "DSP", "BRAM", "runtime"];
+    for i in 0..4 {
+        let avg = sums[i] / n;
+        assert!(
+            (avg - GOLDEN[i]).abs() <= TOL,
+            "{} average error {avg:.4} drifted from golden {:.4} (tol {TOL})",
+            axes[i],
+            GOLDEN[i]
+        );
+        assert!(
+            avg <= CEILING[i],
+            "{} average error {avg:.4} exceeds hard ceiling {}",
+            axes[i],
+            CEILING[i]
+        );
+    }
+}

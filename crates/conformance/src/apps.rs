@@ -13,9 +13,10 @@
 //!   either drifting alone only needs these two).
 
 use dhdl_apps::{
-    Benchmark, BlackScholes, DotProduct, Gda, Gemm, KMeans, OuterProduct, Saxpy, TpchQ6,
+    Attention, Benchmark, BlackScholes, Conv2d, DotProduct, Gda, Gemm, KMeans, OuterProduct, Saxpy,
+    TpchQ6,
 };
-use dhdl_sim::{simulate, Bindings};
+use dhdl_sim::{simulate, simulate_compiled, Bindings};
 
 use crate::oracle::{Conformance, Violation};
 
@@ -36,6 +37,8 @@ pub fn default_benchmarks() -> Vec<Box<dyn Benchmark>> {
         Box::new(Gda::new(96, 8)),
         Box::new(KMeans::new(192, 8, 8)),
         Box::new(Saxpy::new(384, 2.5)),
+        Box::new(Conv2d::new(18, 4)),
+        Box::new(Attention::new(16)),
     ]
 }
 
@@ -104,6 +107,23 @@ impl Conformance {
                                     detail: format!("{name}: {e}"),
                                 }),
                             }
+                        }
+                        // The tape-compiled backend must agree with the
+                        // interpreter bit-for-bit on every benchmark
+                        // (outputs, cycles, transfers, profile, trace).
+                        match simulate_compiled(&design, self.platform(), &bindings) {
+                            Ok(tape) => {
+                                if let Some(diff) = result.bit_diff(&tape) {
+                                    v.push(Violation {
+                                        invariant: "app-backend-differential",
+                                        detail: format!("{name}: {diff}"),
+                                    });
+                                }
+                            }
+                            Err(e) => v.push(Violation {
+                                invariant: "app-backend-differential",
+                                detail: format!("{name}: tape backend failed: {e}"),
+                            }),
                         }
                     }
                     Err(e) => v.push(Violation {

@@ -1,7 +1,8 @@
 //! `dhdl-fuzz` — the differential-conformance fuzzing entry point.
 //!
-//! Default mode generates `--designs` design specs and `--patterns`
-//! pattern specs from `--seed`, runs the full layered oracle on each,
+//! Default mode generates `--designs` design specs, `--patterns`
+//! pattern specs and `--dnn` DNN-shaped fragments (conv2d/attention)
+//! from `--seed`, runs the full layered oracle on each,
 //! greedily shrinks any failure, persists it as a replayable case under
 //! `--out` (default `tests/corpus`), and finishes with the benchmark
 //! differentials. Stdout is byte-deterministic for a fixed seed: all
@@ -18,12 +19,14 @@ use std::time::Instant;
 
 use dhdl_conformance::corpus::{load_dir, write_case, CaseKind, CorpusCase};
 use dhdl_conformance::{
-    generate, generate_pattern, shrink, shrink_pattern, Conformance, Violation,
+    generate, generate_dnn, generate_pattern, shrink, shrink_dnn, shrink_pattern, Conformance,
+    Violation,
 };
 
 struct Args {
     designs: u64,
     patterns: u64,
+    dnn: u64,
     seed: u64,
     budget_ms: Option<u64>,
     replay: Option<PathBuf>,
@@ -32,13 +35,14 @@ struct Args {
     skip_benches: bool,
 }
 
-const USAGE: &str = "usage: dhdl-fuzz [--designs N] [--patterns N] [--seed S] \
+const USAGE: &str = "usage: dhdl-fuzz [--designs N] [--patterns N] [--dnn N] [--seed S] \
 [--budget-ms T] [--replay DIR] [--emit-corpus DIR] [--out DIR] [--skip-benches]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         designs: 200,
         patterns: 50,
+        dnn: 25,
         seed: 0,
         budget_ms: None,
         replay: None,
@@ -55,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--designs" => args.designs = parse_num(&value("--designs")?)?,
             "--patterns" => args.patterns = parse_num(&value("--patterns")?)?,
+            "--dnn" => args.dnn = parse_num(&value("--dnn")?)?,
             "--seed" => args.seed = parse_num(&value("--seed")?)?,
             "--budget-ms" => args.budget_ms = Some(parse_num(&value("--budget-ms")?)?),
             "--replay" => args.replay = Some(PathBuf::from(value("--replay")?)),
@@ -171,6 +176,32 @@ fn main() -> ExitCode {
     }
     println!("patterns: {patterns_run} checked");
 
+    let mut dnn_run = 0u64;
+    for case_id in 0..args.dnn {
+        if out_of_time(case_id, "dnn fragments") {
+            break;
+        }
+        let spec = generate_dnn(args.seed, case_id);
+        let violations = conf.check_dnn(&spec);
+        if !violations.is_empty() {
+            total_violations += violations.len();
+            let invariant = violations[0].invariant;
+            let small = shrink_dnn(&conf, &spec, invariant);
+            let case = CorpusCase {
+                invariant: invariant.to_string(),
+                kind: CaseKind::Dnn(small),
+            };
+            print_violations(
+                "dnn",
+                &dhdl_conformance::corpus::dnn_to_line(&spec),
+                &violations,
+            );
+            persist(&args.out, &case);
+        }
+        dnn_run += 1;
+    }
+    println!("dnn: {dnn_run} checked");
+
     let mut benches_run = 0u64;
     if !args.skip_benches && !out_of_time(0, "benchmarks") {
         for bench in dhdl_conformance::apps::default_benchmarks() {
@@ -247,6 +278,21 @@ fn emit_corpus(conf: &Conformance, dir: &Path, seed: u64) -> ExitCode {
             invariant: "none".to_string(),
             kind: CaseKind::Pattern(generate_pattern(seed, case_id)),
         });
+    }
+    // At least one conv and one attention seed case: `generate_dnn`
+    // alternates kinds pseudo-randomly, so take the first of each.
+    let mut kinds_seen = std::collections::BTreeSet::new();
+    for case_id in 0..16 {
+        let spec = generate_dnn(seed, case_id);
+        if kinds_seen.insert(format!("{:?}", spec.kind)) {
+            cases.push(CorpusCase {
+                invariant: "none".to_string(),
+                kind: CaseKind::Dnn(spec),
+            });
+        }
+        if kinds_seen.len() == 2 {
+            break;
+        }
     }
     for case in &cases {
         let violations = case.check(conf);

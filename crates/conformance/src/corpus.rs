@@ -20,6 +20,7 @@ use std::path::{Path, PathBuf};
 
 use dhdl_core::{DType, PrimOp, ReduceOp};
 
+use crate::dnn::{DnnKind, DnnSpec};
 use crate::gen::{DesignSpec, MapStep, Operand};
 use crate::oracle::{Conformance, Violation};
 use crate::patgen::{PatRhs, PatStep, PatternSpec};
@@ -37,13 +38,15 @@ pub struct CorpusCase {
     pub kind: CaseKind,
 }
 
-/// The two kinds of generated specs a corpus can hold.
+/// The kinds of generated specs a corpus can hold.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CaseKind {
     /// A raw DHDL design spec.
     Design(DesignSpec),
     /// A pattern-frontend spec.
     Pattern(PatternSpec),
+    /// A DNN-shaped fragment spec (conv2d/attention).
+    Dnn(DnnSpec),
 }
 
 impl CorpusCase {
@@ -52,6 +55,7 @@ impl CorpusCase {
         match &self.kind {
             CaseKind::Design(s) => format!("{}-d{:016x}.case", self.invariant, s.case_id),
             CaseKind::Pattern(s) => format!("{}-p{:016x}.case", self.invariant, s.case_id),
+            CaseKind::Dnn(s) => format!("{}-n{:016x}.case", self.invariant, s.case_id),
         }
     }
 
@@ -60,6 +64,7 @@ impl CorpusCase {
         let line = match &self.kind {
             CaseKind::Design(s) => design_to_line(s),
             CaseKind::Pattern(s) => pattern_to_line(s),
+            CaseKind::Dnn(s) => dnn_to_line(s),
         };
         format!("{HEADER}\ninvariant={}\n{line}\n", self.invariant)
     }
@@ -83,6 +88,8 @@ impl CorpusCase {
             CaseKind::Design(design_from_line(spec)?)
         } else if spec.starts_with("pattern v1 ") {
             CaseKind::Pattern(pattern_from_line(spec)?)
+        } else if spec.starts_with("dnn v1 ") {
+            CaseKind::Dnn(dnn_from_line(spec)?)
         } else {
             return Err(format!("unrecognized spec line: {spec}"));
         };
@@ -97,6 +104,7 @@ impl CorpusCase {
         match &self.kind {
             CaseKind::Design(s) => conf.check_design(s),
             CaseKind::Pattern(s) => conf.check_pattern(s),
+            CaseKind::Dnn(s) => conf.check_dnn(s),
         }
     }
 }
@@ -364,6 +372,51 @@ pub fn design_from_line(line: &str) -> Result<DesignSpec, String> {
         stage1: steps_parse(get(&fields, "s1")?)?,
         stage2: steps_parse(get(&fields, "s2")?)?,
         reduce: reduce_parse(get(&fields, "red")?)?,
+    })
+}
+
+/// Render a DNN fragment spec as its one-line corpus form.
+pub fn dnn_to_line(s: &DnnSpec) -> String {
+    let kind = match s.kind {
+        DnnKind::Conv => "conv",
+        DnnKind::Attn => "attn",
+    };
+    format!(
+        "dnn v1 case={:x} kind={kind} size={} cout={} tile={} par={} par2={} mp={} mp2={}",
+        s.case_id,
+        s.size,
+        s.cout,
+        s.tile,
+        s.par,
+        s.par2,
+        u8::from(s.metapipe),
+        u8::from(s.metapipe2),
+    )
+}
+
+/// Parse a DNN fragment spec from its one-line corpus form.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed field.
+pub fn dnn_from_line(line: &str) -> Result<DnnSpec, String> {
+    let fields = fields_of(line, "dnn")?;
+    let kind = match get(&fields, "kind")? {
+        "conv" => DnnKind::Conv,
+        "attn" => DnnKind::Attn,
+        other => return Err(format!("unrecognized dnn kind `{other}`")),
+    };
+    Ok(DnnSpec {
+        case_id: u64::from_str_radix(get(&fields, "case")?, 16)
+            .map_err(|_| "bad case id".to_string())?,
+        kind,
+        size: num(&fields, "size")?,
+        cout: num(&fields, "cout")?,
+        tile: num(&fields, "tile")?,
+        par: num(&fields, "par")?,
+        par2: num(&fields, "par2")?,
+        metapipe: get(&fields, "mp")? == "1",
+        metapipe2: get(&fields, "mp2")? == "1",
     })
 }
 

@@ -25,13 +25,15 @@
 
 pub mod apps;
 pub mod corpus;
+pub mod dnn;
 pub mod gen;
 pub mod oracle;
 pub mod patgen;
 pub mod shrink;
 
 pub use corpus::{CaseKind, CorpusCase};
+pub use dnn::{generate_dnn, DnnKind, DnnSpec};
 pub use gen::{generate, DesignSpec, MapStep, Operand};
 pub use oracle::{Conformance, Violation};
 pub use patgen::{generate_pattern, PatternSpec};
-pub use shrink::{shrink, shrink_pattern};
+pub use shrink::{shrink, shrink_dnn, shrink_pattern};

@@ -18,7 +18,7 @@
 //! | `cache-transparency` | `EstimateCache` hit == miss == uncached, bitwise   |
 //! | `paramspace-legal`   | the sampled parameters are legal in their space    |
 
-use dhdl_core::{serialize, structural_hash, Design};
+use dhdl_core::{serialize, structural_hash, Design, ParamSpace, ParamValues};
 use dhdl_dse::{model_fingerprint, CachedModel, CostModel, EstimateCache};
 use dhdl_estimate::{Estimate, Estimator};
 use dhdl_sim::{compile, simulate, Bindings, CompileError, SimResult};
@@ -102,18 +102,23 @@ impl Conformance {
                 return v;
             }
         };
-        self.check_structure(spec, &design, &mut v);
+        self.check_structure(&design, spec.build(), &mut v);
         self.check_simulation(spec, &design, &mut v);
         self.check_estimator(spec, &design, &mut v);
         self.check_synth(&design, &mut v);
         self.check_cache(&design, &mut v);
-        self.check_params(spec, &mut v);
+        self.check_params(&spec.param_space(), &spec.param_values(), &mut v);
         v
     }
 
-    fn check_structure(&self, spec: &DesignSpec, design: &Design, v: &mut Vec<Violation>) {
+    pub(crate) fn check_structure(
+        &self,
+        design: &Design,
+        rebuilt: dhdl_core::Result<Design>,
+        v: &mut Vec<Violation>,
+    ) {
         let h1 = structural_hash(design);
-        match spec.build() {
+        match rebuilt {
             Ok(again) => {
                 let h2 = structural_hash(&again);
                 if h1 != h2 {
@@ -226,6 +231,17 @@ impl Conformance {
     }
 
     fn check_estimator(&self, spec: &DesignSpec, design: &Design, v: &mut Vec<Violation>) {
+        self.check_estimate_sane(design, v);
+        if spec.par > 1 {
+            let mut serial = spec.clone();
+            serial.par = 1;
+            if let Ok(sd) = serial.build() {
+                self.check_par_monotonic(design, &sd, spec.par, v);
+            }
+        }
+    }
+
+    pub(crate) fn check_estimate_sane(&self, design: &Design, v: &mut Vec<Violation>) {
         let est = self.estimator.estimate(design);
         if !estimate_is_sane(&est) {
             v.push(Violation {
@@ -247,44 +263,46 @@ impl Conformance {
                 detail: "estimate(d) != estimate_net(d, elaborate(d)) bitwise".to_string(),
             });
         }
-        // Monotonicity in parallelism: serializing the inner pipes
-        // (par=1) must not *increase* raw datapath area, nor can it be
-        // faster than the parallel version under the analytic model.
-        if spec.par > 1 {
-            let mut serial = spec.clone();
-            serial.par = 1;
-            if let Ok(sd) = serial.build() {
-                let wide = self.estimator.raw_area(design);
-                let narrow = self.estimator.raw_area(&sd);
-                // Small absolute slack: control/banking overhead is not
-                // perfectly linear, but duplicated compute dominates.
-                let slack = 1.0 + narrow.alms * 0.01;
-                if wide.alms + slack < narrow.alms || wide.dsps + 0.5 < narrow.dsps {
-                    v.push(Violation {
-                        invariant: "par-monotonic",
-                        detail: format!(
-                            "par={} raw area (alms {:.1}, dsps {:.1}) below par=1 \
-                             (alms {:.1}, dsps {:.1})",
-                            spec.par, wide.alms, wide.dsps, narrow.alms, narrow.dsps
-                        ),
-                    });
-                }
-                let fast = self.estimator.cycles(design);
-                let slow = self.estimator.cycles(&sd);
-                if fast > slow * 1.05 + 16.0 {
-                    v.push(Violation {
-                        invariant: "par-monotonic",
-                        detail: format!(
-                            "par={} estimated {fast:.0} cycles, slower than par=1 ({slow:.0})",
-                            spec.par
-                        ),
-                    });
-                }
-            }
+    }
+
+    /// Monotonicity in parallelism: serializing the inner pipes (par=1)
+    /// must not *increase* raw datapath area, nor can it be faster than
+    /// the parallel version under the analytic model.
+    pub(crate) fn check_par_monotonic(
+        &self,
+        design: &Design,
+        serial: &Design,
+        par: u32,
+        v: &mut Vec<Violation>,
+    ) {
+        let wide = self.estimator.raw_area(design);
+        let narrow = self.estimator.raw_area(serial);
+        // Small absolute slack: control/banking overhead is not
+        // perfectly linear, but duplicated compute dominates.
+        let slack = 1.0 + narrow.alms * 0.01;
+        if wide.alms + slack < narrow.alms || wide.dsps + 0.5 < narrow.dsps {
+            v.push(Violation {
+                invariant: "par-monotonic",
+                detail: format!(
+                    "par={par} raw area (alms {:.1}, dsps {:.1}) below par=1 \
+                     (alms {:.1}, dsps {:.1})",
+                    wide.alms, wide.dsps, narrow.alms, narrow.dsps
+                ),
+            });
+        }
+        let fast = self.estimator.cycles(design);
+        let slow = self.estimator.cycles(serial);
+        if fast > slow * 1.05 + 16.0 {
+            v.push(Violation {
+                invariant: "par-monotonic",
+                detail: format!(
+                    "par={par} estimated {fast:.0} cycles, slower than par=1 ({slow:.0})"
+                ),
+            });
         }
     }
 
-    fn check_synth(&self, design: &Design, v: &mut Vec<Violation>) {
+    pub(crate) fn check_synth(&self, design: &Design, v: &mut Vec<Violation>) {
         let fpga = &self.platform.fpga;
         let full = elaborate(design, fpga);
         let skel = Skeleton::of(design);
@@ -342,7 +360,7 @@ impl Conformance {
         }
     }
 
-    fn check_cache(&self, design: &Design, v: &mut Vec<Violation>) {
+    pub(crate) fn check_cache(&self, design: &Design, v: &mut Vec<Violation>) {
         let direct = self.estimator.estimate(design);
         let cm = CachedModel::new(&self.estimator, &self.cache);
         // The first call may hit (a structurally identical design was
@@ -367,10 +385,13 @@ impl Conformance {
         }
     }
 
-    fn check_params(&self, spec: &DesignSpec, v: &mut Vec<Violation>) {
-        let space = spec.param_space();
-        let values = spec.param_values();
-        if !space.is_legal(&values) {
+    pub(crate) fn check_params(
+        &self,
+        space: &ParamSpace,
+        values: &ParamValues,
+        v: &mut Vec<Violation>,
+    ) {
+        if !space.is_legal(values) {
             v.push(Violation {
                 invariant: "paramspace-legal",
                 detail: format!("sampled values {values} are illegal in their own space"),
@@ -394,7 +415,7 @@ impl Conformance {
     }
 }
 
-fn compare_bits(result: &SimResult, expected: &[f64], v: &mut Vec<Violation>) {
+pub(crate) fn compare_bits(result: &SimResult, expected: &[f64], v: &mut Vec<Violation>) {
     let got = match result.output("out") {
         Ok(g) => g,
         Err(e) => {

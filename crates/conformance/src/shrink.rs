@@ -8,6 +8,7 @@
 //! the *same* invariant. Repeats to a fixpoint with a hard iteration cap
 //! so a pathological oracle cannot loop forever.
 
+use crate::dnn::{DnnKind, DnnSpec};
 use crate::gen::{DesignSpec, MapStep};
 use crate::oracle::Conformance;
 use crate::patgen::{PatRhs, PatternSpec};
@@ -139,6 +140,116 @@ pub fn shrink(conf: &Conformance, spec: &DesignSpec, invariant: &str) -> DesignS
         let mut improved = false;
         for cand in candidates(&best) {
             if cand != best && still_fails(conf, &cand, invariant) {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    best
+}
+
+fn dnn_still_fails(conf: &Conformance, spec: &DnnSpec, invariant: &str) -> bool {
+    conf.check_dnn(spec)
+        .iter()
+        .any(|v| v.invariant == invariant)
+}
+
+/// Make a DNN spec self-consistent after a structural edit: the tile
+/// must divide the (possibly shrunk) row dimension and the parallelisms
+/// must divide their bases.
+fn dnn_normalize(spec: &mut DnnSpec) {
+    let rows = match spec.kind {
+        // Valid 3x3 convolution: hout = size - 2.
+        DnnKind::Conv => spec.size - 2,
+        DnnKind::Attn => spec.size,
+    };
+    if spec.tile < 2 || spec.tile > rows || rows % spec.tile != 0 {
+        spec.tile = 2;
+    }
+    match spec.kind {
+        DnnKind::Conv => {
+            // par lanes vectorize over wout (== hout for square images);
+            // par2 replicates over output channels.
+            if rows % u64::from(spec.par) != 0 {
+                spec.par = 1;
+            }
+            if spec.cout % u64::from(spec.par2) != 0 {
+                spec.par2 = 1;
+            }
+        }
+        DnnKind::Attn => {
+            if spec.par > 8 || 32 % spec.par != 0 {
+                spec.par = 1;
+            }
+            if spec.par2 > 4 || 32 % spec.par2 != 0 {
+                spec.par2 = 1;
+            }
+        }
+    }
+}
+
+/// Candidate one-step simplifications of a DNN fragment spec, in
+/// decreasing order of how much structure they remove.
+fn dnn_candidates(spec: &DnnSpec) -> Vec<DnnSpec> {
+    let mut out = Vec::new();
+    let mut push = |mut s: DnnSpec| {
+        dnn_normalize(&mut s);
+        out.push(s);
+    };
+    let min_size = match spec.kind {
+        DnnKind::Conv => 6,
+        DnnKind::Attn => 4,
+    };
+    if spec.size > min_size {
+        let mut s = *spec;
+        s.size = min_size;
+        push(s);
+    }
+    if spec.kind == DnnKind::Conv && spec.cout > 2 {
+        let mut s = *spec;
+        s.cout = 2;
+        push(s);
+    }
+    for flag in 0..2 {
+        let mut s = *spec;
+        let changed = match flag {
+            0 => std::mem::take(&mut s.metapipe),
+            _ => std::mem::take(&mut s.metapipe2),
+        };
+        if changed {
+            push(s);
+        }
+    }
+    if spec.par > 1 {
+        let mut s = *spec;
+        s.par = 1;
+        push(s);
+    }
+    if spec.par2 > 1 {
+        let mut s = *spec;
+        s.par2 = 1;
+        push(s);
+    }
+    if spec.tile > 2 {
+        let mut s = *spec;
+        s.tile = 2;
+        push(s);
+    }
+    out
+}
+
+/// Greedily shrink a failing DNN fragment spec while preserving the
+/// violated invariant. Returns the smallest spec found.
+pub fn shrink_dnn(conf: &Conformance, spec: &DnnSpec, invariant: &str) -> DnnSpec {
+    let mut best = *spec;
+    for _ in 0..MAX_ROUNDS {
+        let mut improved = false;
+        for cand in dnn_candidates(&best) {
+            if cand != best && dnn_still_fails(conf, &cand, invariant) {
                 best = cand;
                 improved = true;
                 break;

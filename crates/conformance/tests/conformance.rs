@@ -4,9 +4,12 @@
 //! is the `dhdl-fuzz` binary; CI replays `tests/corpus/` on top).
 
 use dhdl_conformance::corpus::{
-    design_from_line, design_to_line, pattern_from_line, pattern_to_line, CorpusCase,
+    design_from_line, design_to_line, dnn_from_line, dnn_to_line, pattern_from_line,
+    pattern_to_line, CorpusCase,
 };
-use dhdl_conformance::{generate, generate_pattern, shrink, CaseKind, Conformance};
+use dhdl_conformance::{
+    generate, generate_dnn, generate_pattern, shrink, shrink_dnn, CaseKind, Conformance, DnnKind,
+};
 use proptest::prelude::*;
 
 #[test]
@@ -54,6 +57,31 @@ fn generated_designs_build_and_have_legal_params() {
 }
 
 #[test]
+fn dnn_generator_is_deterministic_and_covers_both_kinds() {
+    let mut kinds = std::collections::BTreeSet::new();
+    let mut shapes = std::collections::BTreeSet::new();
+    for id in 0..24 {
+        let spec = generate_dnn(42, id);
+        assert_eq!(spec, generate_dnn(42, id));
+        kinds.insert(format!("{:?}", spec.kind));
+        shapes.insert(format!(
+            "{:?}|{}|{}|{}|{}|{}",
+            spec.kind, spec.size, spec.cout, spec.tile, spec.par, spec.par2
+        ));
+        // Every sampled point must be legal in the benchmark's own space
+        // and instantiate through the builder.
+        assert!(
+            spec.param_space().is_legal(&spec.param_values()),
+            "dnn case {id}: illegal params"
+        );
+        spec.build()
+            .unwrap_or_else(|e| panic!("dnn case {id}: {e}"));
+    }
+    assert_eq!(kinds.len(), 2, "generator never drew one of the kinds");
+    assert!(shapes.len() > 10, "dnn generator collapsed: {shapes:?}");
+}
+
+#[test]
 fn corpus_case_files_roundtrip() {
     let design = CorpusCase {
         invariant: "sim-vs-reference".to_string(),
@@ -63,7 +91,11 @@ fn corpus_case_files_roundtrip() {
         invariant: "none".to_string(),
         kind: CaseKind::Pattern(generate_pattern(3, 17)),
     };
-    for case in [design, pattern] {
+    let dnn = CorpusCase {
+        invariant: "backend-differential".to_string(),
+        kind: CaseKind::Dnn(generate_dnn(3, 17)),
+    };
+    for case in [design, pattern, dnn] {
         let text = case.to_text();
         let back = CorpusCase::from_text(&text).expect("case file parses");
         assert_eq!(back, case);
@@ -79,6 +111,8 @@ fn corpus_rejects_malformed_input() {
     assert!(CorpusCase::from_text("dhdl-fuzz case v1\ninvariant=x\njunk line\n").is_err());
     assert!(design_from_line("design v1 case=zz").is_err());
     assert!(design_from_line("pattern v1 case=0").is_err());
+    assert!(dnn_from_line("dnn v1 case=0 kind=rnn size=8").is_err());
+    assert!(dnn_from_line("dnn v1 case=0 kind=conv size=8").is_err());
     assert!(pattern_from_line("pattern v1 case=0 len=64 two=0 steps=Wat:in0 red=-").is_err());
     let good = design_to_line(&generate(0, 0));
     assert!(design_from_line(&good.replace("ty=", "ty=q")).is_err());
@@ -93,6 +127,8 @@ proptest! {
         prop_assert_eq!(design_from_line(&design_to_line(&spec)).unwrap(), spec);
         let pat = generate_pattern(seed, id);
         prop_assert_eq!(pattern_from_line(&pattern_to_line(&pat)).unwrap(), pat);
+        let dnn = generate_dnn(seed, id);
+        prop_assert_eq!(dnn_from_line(&dnn_to_line(&dnn)).unwrap(), dnn);
     }
 }
 
@@ -122,6 +158,81 @@ fn mini_pattern_campaign_is_clean() {
             violations
         );
     }
+}
+
+#[test]
+fn mini_dnn_campaign_is_clean() {
+    let conf = Conformance::new();
+    for id in 0..6 {
+        let spec = generate_dnn(0, id);
+        let violations = conf.check_dnn(&spec);
+        assert!(
+            violations.is_empty(),
+            "dnn case {id} violated: {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn dnn_shrinker_preserves_the_violated_invariant() {
+    let conf = Conformance::new();
+    // A tile below the space's minimum of 2 is buildable but violates
+    // `paramspace-legal` (mirrors the design-spec shrink test).
+    let mut spec = generate_dnn(0, 0);
+    while spec.kind != DnnKind::Attn {
+        spec = generate_dnn(0, spec.case_id + 1);
+    }
+    spec.size = 12;
+    spec.tile = 1;
+    spec.par = 1;
+    spec.par2 = 1;
+    let violations = conf.check_dnn(&spec);
+    assert!(
+        violations.iter().any(|v| v.invariant == "paramspace-legal"),
+        "expected a paramspace violation, got {violations:?}"
+    );
+    let small = shrink_dnn(&conf, &spec, "paramspace-legal");
+    let still = conf.check_dnn(&small);
+    assert!(
+        still.iter().any(|v| v.invariant == "paramspace-legal"),
+        "shrinking lost the violated invariant"
+    );
+}
+
+#[test]
+fn dnn_reference_matches_simulator_bitwise_on_both_kinds() {
+    use dhdl_sim::{simulate_compiled, Bindings};
+    use dhdl_target::Platform;
+    let platform = Platform::maia();
+    let mut kinds = std::collections::BTreeSet::new();
+    let mut id = 0;
+    while kinds.len() < 2 && id < 32 {
+        let spec = generate_dnn(5, id);
+        id += 1;
+        if !kinds.insert(format!("{:?}", spec.kind)) {
+            continue;
+        }
+        let design = spec.build().expect("builds");
+        let inputs = spec.inputs();
+        let mut b = Bindings::new();
+        for (name, data) in &inputs {
+            b = b.bind(name, data.clone());
+        }
+        // The tape-backend entry point (falls back if unsupported).
+        let result = simulate_compiled(&design, &platform, &b).expect("simulates");
+        let got = result.output("out").expect("has out");
+        let expected = spec.reference(&inputs);
+        assert_eq!(got.len(), expected.len(), "{:?} length", spec.kind);
+        for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                e.to_bits(),
+                "{:?}: out[{i}] = {g} vs reference {e}",
+                spec.kind
+            );
+        }
+    }
+    assert_eq!(kinds.len(), 2, "never drew both kinds in 32 cases");
 }
 
 #[test]

@@ -89,6 +89,8 @@ fn dispatch(bench: &dyn Benchmark, inputs: &Arrays, threads: usize) -> Arrays {
         "gda" => gda(inputs, threads),
         "kmeans" => kmeans(inputs, threads),
         "saxpy" => saxpy(inputs, threads),
+        "conv2d" => conv2d(inputs, threads),
+        "attention" => attention(inputs, threads),
         other => panic!("no CPU kernel for benchmark `{other}`"),
     }
 }
@@ -299,10 +301,97 @@ fn kmeans(inputs: &Arrays, threads: usize) -> Arrays {
     m
 }
 
+/// Direct 3×3 valid convolution. The suite convention fixes the kernel
+/// window at 3×3 on a square image (like kmeans' fixed k = 8), so the
+/// shapes recover from the array lengths: `h = w = sqrt(|img|)`,
+/// `cout = |wt| / 9`. Accumulation steps round to f32 like the
+/// accelerator datapath, making the output bit-identical to the
+/// benchmark's reference (each (channel, row) is independent, so the
+/// result is also thread-count invariant).
+fn conv2d(inputs: &Arrays, threads: usize) -> Arrays {
+    let (img, wts) = (&inputs["img"], &inputs["wt"]);
+    let w = (img.len() as f64).sqrt().round() as usize;
+    let (kh, kw) = (3usize, 3usize);
+    let cout = wts.len() / (kh * kw);
+    let (hout, wout) = (w - kh + 1, w - kw + 1);
+    let rows = par_reduce(cout * hout, threads, |lo, hi| {
+        let mut out = Vec::with_capacity((hi - lo) * wout);
+        for ci in lo..hi {
+            let (c, i) = (ci / hout, ci % hout);
+            for j in 0..wout {
+                let mut acc = 0.0f64;
+                for u in 0..kh {
+                    for v in 0..kw {
+                        let prod = (img[(i + u) * w + (j + v)] * wts[(c * kh + u) * kw + v]) as f32;
+                        acc = (acc + f64::from(prod)) as f32 as f64;
+                    }
+                }
+                out.push(acc);
+            }
+        }
+        out
+    });
+    let mut m = Arrays::new();
+    m.insert("out".into(), rows.concat());
+    m
+}
+
+/// Attention block (scores, stable log-domain row softmax, value
+/// contraction). The suite convention fixes the head dimension at 32,
+/// so `n = |q| / 32`. Per-op f32 rounding mirrors the accelerator
+/// datapath bit-for-bit; rows are independent, so chunking over rows is
+/// thread-count invariant.
+fn attention(inputs: &Arrays, threads: usize) -> Arrays {
+    let (q, k, v) = (&inputs["q"], &inputs["k"], &inputs["v"]);
+    let d = 32usize;
+    let n = q.len() / d;
+    let scale = f64::from((1.0 / (d as f64).sqrt()) as f32);
+    let rows = par_reduce(n, threads, |lo, hi| {
+        let mut out = Vec::with_capacity((hi - lo) * d);
+        let mut s = vec![0.0f64; n];
+        for i in lo..hi {
+            for (r, sr) in s.iter_mut().enumerate() {
+                let mut acc = 0.0f64;
+                for j in 0..d {
+                    let prod = (q[i * d + j] * k[r * d + j]) as f32;
+                    acc = (acc + f64::from(prod)) as f32 as f64;
+                }
+                *sr = acc;
+            }
+            let mut m = f64::NEG_INFINITY;
+            for &sr in &s {
+                m = m.max(sr) as f32 as f64;
+            }
+            let mut sum = 0.0f64;
+            for &sr in &s {
+                let e = ((((sr - m) as f32 as f64) * scale) as f32 as f64).exp() as f32 as f64;
+                sum = (sum + e) as f32 as f64;
+            }
+            let lse = sum.ln() as f32 as f64;
+            for sr in s.iter_mut() {
+                let sc = (((*sr - m) as f32 as f64) * scale) as f32 as f64;
+                *sr = (((sc - lse) as f32 as f64).exp()) as f32 as f64;
+            }
+            for jd in 0..d {
+                let mut acc = 0.0f64;
+                for (r, &pr) in s.iter().enumerate() {
+                    let prod = (pr * v[r * d + jd]) as f32;
+                    acc = (acc + f64::from(prod)) as f32 as f64;
+                }
+                out.push(acc);
+            }
+        }
+        out
+    });
+    let mut m = Arrays::new();
+    m.insert("out".into(), rows.concat());
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dhdl_apps::{DotProduct, Gda, Gemm, KMeans, TpchQ6};
+    use dhdl_apps::{Attention, Conv2d, DotProduct, Gda, Gemm, KMeans, TpchQ6};
 
     fn close(a: &[f64], b: &[f64], tol: f64) {
         assert_eq!(a.len(), b.len());
@@ -326,6 +415,30 @@ mod tests {
             for (name, expected) in b.reference() {
                 let got = &cpu.outputs[&name];
                 close(got, &expected, 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn dnn_kernels_are_bit_exact_and_thread_invariant() {
+        // conv2d and attention mirror the accelerator's f32 stepping, so
+        // they must equal the benchmark references *bitwise*, for any
+        // thread count.
+        let benches: Vec<Box<dyn Benchmark>> =
+            vec![Box::new(Conv2d::new(18, 4)), Box::new(Attention::new(16))];
+        for b in benches {
+            let inputs = b.inputs();
+            let reference = b.reference();
+            for threads in [1, 3, 8] {
+                let got = dispatch(b.as_ref(), &inputs, threads);
+                for (name, expected) in &reference {
+                    assert_eq!(
+                        &got[name],
+                        expected,
+                        "{} `{name}` differs at {threads} threads",
+                        b.name()
+                    );
+                }
             }
         }
     }

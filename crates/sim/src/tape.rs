@@ -625,6 +625,12 @@ impl Tape {
                 PrimOp::Neg => lanewise!(|x: f64, _: f64| -x),
                 PrimOp::Abs => lanewise!(|x: f64, _: f64| x.abs()),
                 PrimOp::Sqrt => lanewise!(|x: f64, _: f64| x.sqrt()),
+                // exp/ln dominate softmax and blackscholes inner loops:
+                // batching them here hoists the op dispatch out of the
+                // lane loop while making the exact libm calls apply_prim
+                // makes, so results stay bit-identical per lane.
+                PrimOp::Exp => lanewise!(|x: f64, _: f64| x.exp()),
+                PrimOp::Ln => lanewise!(|x: f64, _: f64| x.ln()),
                 _ => lanewise!(|x, y| apply_prim(op, x, y)),
             }
         }

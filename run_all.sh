@@ -61,6 +61,18 @@ if [ "$DHDL_DSEBENCH_POINTS" -gt 0 ]; then
     cargo run -q -p dhdl-bench --bin dsebench --release
 fi
 
+# DNN workload frontier: conv2d + attention explored under both search
+# strategies, the best designs simulated under both simulator backends
+# with a bit-exact cross-check, and modeled speedups vs. the CPU model
+# (results/BENCH_dnn.json, byte-identical across re-runs and thread
+# counts). Set DHDL_DNN_POINTS=0 to skip.
+DHDL_DNN_POINTS="${DHDL_DNN_POINTS:-2000}"
+if [ "$DHDL_DNN_POINTS" -gt 0 ]; then
+  echo "=== dnnbench ==="
+  DHDL_DNN_POINTS="$DHDL_DNN_POINTS" \
+    cargo run -q -p dhdl-bench --bin dnnbench --release
+fi
+
 # DSE-as-a-service smoke: a few seconds of Zipf-skewed multi-tenant
 # traffic against a live dhdl-serve instance, recording throughput and
 # hit/miss latency percentiles (results/BENCH_serve.json). The load
