@@ -126,6 +126,8 @@ fn ablation_pruning() {
                 ParamKind::Tile { min, max, .. } => (max - min + 1) as f64,
                 ParamKind::Par { max, .. } => max as f64,
                 ParamKind::Toggle => 2.0,
+                // Naive range: any device count 1..=max.
+                ParamKind::Devices { max } => max as f64,
             };
         }
         t.row(&[

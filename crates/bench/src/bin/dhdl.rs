@@ -61,7 +61,7 @@ fn main() {
 fn usage() {
     eprintln!(
         "usage:\n  dhdl list\n  dhdl estimate <benchmark> [param=value ...]\n  \
-         dhdl explore  <benchmark> [--points N] [--strategy random|surrogate]\n  \
+         dhdl explore  <benchmark> [--points N] [--strategy random|surrogate] [--num-fpgas K]\n  \
          dhdl simulate <benchmark> [param=value ...] [--profile]\n  \
          dhdl codegen  <benchmark> [param=value ...]\n  \
          dhdl bottleneck <benchmark> [param=value ...]"
@@ -183,7 +183,14 @@ fn explore(bench: &dyn dhdl_apps::Benchmark, rest: &[String]) {
             }
         }
     }
+    // The flag wins over DHDL_DSE_NUM_FPGAS; > 1 adds the `num_fpgas`
+    // partitioning axis to the swept space.
+    harness.num_fpgas = opt_usize(rest, "--num-fpgas", harness.num_fpgas as usize)
+        .clamp(1, u32::MAX as usize) as u32;
     eprintln!("search strategy: {}", harness.dse.strategy.name());
+    if harness.num_fpgas > 1 {
+        eprintln!("multi-FPGA axis: up to {} devices", harness.num_fpgas);
+    }
     let dse = harness.explore(bench);
     println!(
         "space {} points; {}; {} Pareto-optimal:",

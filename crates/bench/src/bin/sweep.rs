@@ -5,9 +5,15 @@
 //! the same inner loop parallelization factor").
 //!
 //! Usage: `sweep <benchmark> <param>`
+//!
+//! The pseudo-parameter `num_fpgas` sweeps the multi-FPGA partitioning
+//! axis (powers of two up to `DHDL_DSE_NUM_FPGAS`, default 8): the
+//! design is built at its defaults and re-estimated per device count
+//! through the partitioning pass.
 
 use dhdl_bench::report::{write_result, Table};
 use dhdl_bench::Harness;
+use dhdl_core::{ParamKind, NUM_FPGAS};
 
 fn main() {
     dhdl_obs::init_from_env();
@@ -20,14 +26,25 @@ fn main() {
         eprintln!("unknown benchmark `{name}`");
         std::process::exit(2);
     };
-    let space = bench.param_space();
-    let Some(def) = space.defs().iter().find(|d| d.name == *param) else {
-        let names: Vec<&str> = space.defs().iter().map(|d| d.name.as_str()).collect();
-        eprintln!("unknown parameter `{param}`; available: {names:?}");
-        std::process::exit(2);
-    };
     eprintln!("calibrating estimator...");
     let harness = Harness::new(0x53EE, 100);
+    let space = bench.param_space();
+    let multi = param == NUM_FPGAS;
+    let kind = if multi {
+        ParamKind::Devices {
+            max: u64::from(harness.num_fpgas.max(8)),
+        }
+    } else if let Some(def) = space.defs().iter().find(|d| d.name == *param) {
+        def.kind.clone()
+    } else {
+        let names: Vec<&str> = space.defs().iter().map(|d| d.name.as_str()).collect();
+        eprintln!("unknown parameter `{param}`; available: {names:?} (plus `{NUM_FPGAS}`)");
+        std::process::exit(2);
+    };
+    let def = dhdl_core::ParamDef {
+        name: param.clone(),
+        kind,
+    };
     let mut t = Table::new(&[
         param,
         "cycles",
@@ -42,7 +59,11 @@ fn main() {
     let mut build_failed = 0usize;
     for value in def.kind.legal_values() {
         let mut p = bench.default_params();
-        p.set(param, value);
+        if !multi {
+            // `num_fpgas` is not a construction parameter: the design is
+            // built at its defaults and partitioned at estimation time.
+            p.set(param, value);
+        }
         let Ok(design) = bench.build(&p) else {
             build_failed += 1;
             t.row(&[
@@ -59,7 +80,14 @@ fn main() {
         };
         evaluated += 1;
         // Cached path: repeated sweeps answer from results/cache/.
-        let est = harness.estimate(&design);
+        let est = if multi {
+            harness
+                .estimator
+                .estimate_partitioned(&design, value.clamp(1, u64::from(u32::MAX)) as u32)
+                .estimate
+        } else {
+            harness.estimate(&design)
+        };
         t.row(&[
             value.to_string(),
             format!("{:.0}", est.cycles),

@@ -25,6 +25,13 @@ pub struct Harness {
     pub estimator: Estimator,
     /// DSE options (sample budget, seed, memory cap).
     pub dse: DseOptions,
+    /// Maximum devices for the multi-FPGA DSE axis (`DHDL_DSE_NUM_FPGAS`
+    /// or `--num-fpgas`; default 1 = single-chip). When `> 1`,
+    /// [`Harness::explore`] adds the `num_fpgas` parameter to every
+    /// benchmark's space; at 1 the space — and therefore every sweep
+    /// artifact — is byte-identical to a build that never heard of
+    /// partitioning.
+    pub num_fpgas: u32,
     /// The shared estimate cache (`DHDL_DSE_CACHE=off` disables it),
     /// keyed by [`dhdl_core::structural_hash`] and versioned by the
     /// trained model + target fingerprint.
@@ -53,7 +60,9 @@ impl Harness {
     /// the trained model's fingerprint, so repeated runs skip
     /// re-estimating every design they have seen before), and
     /// `DHDL_DSE_STRATEGY=random|surrogate` (how the sweep spends its
-    /// point budget; see [`SearchStrategy`]).
+    /// point budget; see [`SearchStrategy`]), and `DHDL_DSE_NUM_FPGAS`
+    /// (maximum devices for the multi-FPGA partitioning axis; default 1
+    /// keeps sweeps bit-identical to the single-chip toolchain).
     pub fn new(seed: u64, dse_points: usize) -> Self {
         let platform = Platform::maia();
         let estimator = Self::cached_estimator(&platform, seed);
@@ -65,6 +74,11 @@ impl Harness {
             .ok()
             .and_then(|v| v.parse().ok())
             .map(std::time::Duration::from_millis);
+        let num_fpgas = std::env::var("DHDL_DSE_NUM_FPGAS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1)
+            .max(1);
         let mode = CacheMode::from_env();
         let cache = match mode {
             CacheMode::Off => None,
@@ -85,6 +99,7 @@ impl Harness {
                 strategy: SearchStrategy::from_env(),
                 ..DseOptions::default()
             },
+            num_fpgas,
             cache,
             cache_on_disk: mode == CacheMode::Disk,
         }
@@ -158,7 +173,13 @@ impl Harness {
             );
         }
         let build = |p: &ParamValues| bench.build(p);
-        let space = bench.param_space();
+        let mut space = bench.param_space();
+        if self.num_fpgas > 1 {
+            // The device count joins the space as an ordinary parameter;
+            // benchmark metaprograms ignore it (partitioning happens at
+            // estimation time, not construction time).
+            space.devices(u64::from(self.num_fpgas));
+        }
         let result = match &self.cache {
             Some(cache) => {
                 let model = CachedModel::new(&self.estimator, cache.as_ref());

@@ -17,13 +17,19 @@
 //! | `synth-capacity`     | synthesized resources are sane and bound the model |
 //! | `cache-transparency` | `EstimateCache` hit == miss == uncached, bitwise   |
 //! | `paramspace-legal`   | the sampled parameters are legal in their space    |
+//! | `partition-identity` | K=1 partitioning == unpartitioned path, bitwise    |
+//! | `partition-sim`      | a forced cut keeps outputs bitwise and adds exactly the link cycles, on both backends |
 
 use dhdl_core::{serialize, structural_hash, Design, ParamSpace, ParamValues};
 use dhdl_dse::{model_fingerprint, CachedModel, CostModel, EstimateCache};
 use dhdl_estimate::{Estimate, Estimator};
-use dhdl_sim::{compile, simulate, Bindings, CompileError, SimResult};
-use dhdl_synth::{elaborate, elaborate_with, synthesize, Skeleton};
-use dhdl_target::{AreaReport, Platform};
+use dhdl_sim::{
+    compile, simulate, simulate_multi, simulate_partitioned, Backend, Bindings, CompileError,
+    SimResult,
+};
+use dhdl_synth::partition::{util_proxy, FIT_MARGIN};
+use dhdl_synth::{elaborate, elaborate_with, partition, synthesize, Skeleton};
+use dhdl_target::{AreaReport, FpgaTarget, MultiFpgaPlatform, Platform};
 
 use crate::gen::DesignSpec;
 
@@ -108,6 +114,7 @@ impl Conformance {
         self.check_synth(&design, &mut v);
         self.check_cache(&design, &mut v);
         self.check_params(&spec.param_space(), &spec.param_values(), &mut v);
+        self.check_partition(spec, &design, &mut v);
         v
     }
 
@@ -382,6 +389,181 @@ impl Conformance {
                 invariant: "cache-transparency",
                 detail: "finite estimate was not retained by the cache".to_string(),
             });
+        }
+    }
+
+    /// The multi-FPGA layer: K=1 partitioning is the unpartitioned path
+    /// bit for bit, and a forced cut (against a deliberately shrunken
+    /// device, since generated designs fit a real Stratix V whole) is a
+    /// pure scheduling transform — outputs stay bitwise identical and
+    /// the cycle count grows by exactly the plan's link cycles, under
+    /// both simulation backends.
+    pub(crate) fn check_partition(
+        &self,
+        spec: &DesignSpec,
+        design: &Design,
+        v: &mut Vec<Violation>,
+    ) {
+        let fpga = &self.platform.fpga;
+        let mp = MultiFpgaPlatform::from_platform(&self.platform, 4);
+
+        let whole = elaborate(design, fpga);
+        let p1 = partition(design, fpga, &mp.link, 1);
+        if !p1.is_single() || !p1.channels.is_empty() || p1.partitions[0].net != whole {
+            v.push(Violation {
+                invariant: "partition-identity",
+                detail: format!(
+                    "K=1 plan is not the unpartitioned elaboration \
+                     (single={}, channels={})",
+                    p1.is_single(),
+                    p1.channels.len()
+                ),
+            });
+        }
+
+        let (x, y) = spec.inputs();
+        let mut bindings = Bindings::new().bind("x", x);
+        if spec.uses_second() {
+            bindings = bindings.bind("y", y);
+        }
+        let base = match simulate(design, &self.platform, &bindings) {
+            Ok(r) => r,
+            // An unsimulatable design is already pinned by
+            // `sim-vs-reference`; partitioned runs would only cascade.
+            Err(_) => return,
+        };
+        match simulate_multi(Backend::Interp, design, &self.platform, 1, &bindings) {
+            Ok(m) => {
+                if m.devices_used != 1 || m.link_cycles != 0.0 {
+                    v.push(Violation {
+                        invariant: "partition-identity",
+                        detail: format!(
+                            "K=1 run reports {} devices and {} link cycles",
+                            m.devices_used, m.link_cycles
+                        ),
+                    });
+                }
+                if let Some(diff) = base.bit_diff(&m.result) {
+                    v.push(Violation {
+                        invariant: "partition-identity",
+                        detail: format!("K=1 multi-device run diverged from simulate: {diff}"),
+                    });
+                }
+            }
+            Err(e) => v.push(Violation {
+                invariant: "partition-identity",
+                detail: format!("K=1 multi-device simulation failed: {e}"),
+            }),
+        }
+
+        // Force a real cut: shrink every capacity axis so the whole
+        // design sits at ~2x the fit margin of one "device", then check
+        // the partitioned run against the single-device reference.
+        let u = util_proxy(&whole.raw, fpga);
+        if !u.is_finite() || u <= 0.0 {
+            return;
+        }
+        let scale = u / (2.0 * FIT_MARGIN);
+        let shrink = |cap: u64| ((cap as f64 * scale).ceil() as u64).max(1);
+        let tiny = FpgaTarget {
+            alms: shrink(fpga.alms),
+            dsps: shrink(fpga.dsps),
+            brams: shrink(fpga.brams),
+            ..fpga.clone()
+        };
+        let parts = partition(design, &tiny, &mp.link, mp.num_devices);
+        let used = parts.devices_used();
+        if used < 1 || used > mp.num_devices {
+            v.push(Violation {
+                invariant: "partition-sim",
+                detail: format!("forced cut uses {used} of {} devices", mp.num_devices),
+            });
+        }
+        for ch in &parts.channels {
+            if ch.src == ch.dst || ch.src >= used || ch.dst >= used {
+                v.push(Violation {
+                    invariant: "partition-sim",
+                    detail: format!(
+                        "channel {} -> {} is not between distinct placed devices",
+                        ch.src, ch.dst
+                    ),
+                });
+            }
+            if ch.words == 0 || ch.word_bits == 0 || ch.transfers == 0 {
+                v.push(Violation {
+                    invariant: "partition-sim",
+                    detail: format!(
+                        "channel {} -> {} carries no traffic (words={}, bits={}, transfers={})",
+                        ch.src, ch.dst, ch.words, ch.word_bits, ch.transfers
+                    ),
+                });
+            }
+        }
+        let link_cycles = parts.link_cycles(&mp.link);
+        if !link_cycles.is_finite() || link_cycles < 0.0 {
+            v.push(Violation {
+                invariant: "partition-sim",
+                detail: format!("plan link cycles are not sane: {link_cycles}"),
+            });
+        }
+        let interp = match simulate_partitioned(Backend::Interp, design, &mp, &parts, &bindings) {
+            Ok(m) => m,
+            Err(e) => {
+                v.push(Violation {
+                    invariant: "partition-sim",
+                    detail: format!("partitioned simulation failed: {e}"),
+                });
+                return;
+            }
+        };
+        let outputs_match = match (base.output("out"), interp.output("out")) {
+            (Ok(a), Ok(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            _ => false,
+        };
+        if !outputs_match {
+            v.push(Violation {
+                invariant: "partition-sim",
+                detail: "a cut changed functional outputs (must be a pure scheduling transform)"
+                    .to_string(),
+            });
+        }
+        if interp.link_cycles.to_bits() != link_cycles.to_bits()
+            || interp.result.cycles.to_bits() != (base.cycles + link_cycles).to_bits()
+        {
+            v.push(Violation {
+                invariant: "partition-sim",
+                detail: format!(
+                    "cycle accounting: base {} + link {} != partitioned {} (reported link {})",
+                    base.cycles, link_cycles, interp.result.cycles, interp.link_cycles
+                ),
+            });
+        }
+        // The tape backend must refuse-and-fall-back, never miscompile:
+        // its partitioned result is bit-identical to the interpreter's.
+        match simulate_partitioned(Backend::Tape, design, &mp, &parts, &bindings) {
+            Ok(tape) => {
+                if let Some(diff) = interp.result.bit_diff(&tape.result) {
+                    v.push(Violation {
+                        invariant: "partition-sim",
+                        detail: format!("tape backend diverged on a partitioned run: {diff}"),
+                    });
+                }
+                if tape.link_cycles.to_bits() != interp.link_cycles.to_bits() {
+                    v.push(Violation {
+                        invariant: "partition-sim",
+                        detail: format!(
+                            "tape link cycles {} != interpreter link cycles {}",
+                            tape.link_cycles, interp.link_cycles
+                        ),
+                    });
+                }
+            }
+            Err(e) => v.push(Violation {
+                invariant: "partition-sim",
+                detail: format!("tape backend failed on a partitioned run: {e}"),
+            }),
         }
     }
 

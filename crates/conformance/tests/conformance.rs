@@ -284,3 +284,41 @@ fn reference_evaluator_matches_simulator_bitwise() {
         }
     }
 }
+
+#[test]
+fn partition_oracle_forced_cuts_are_not_vacuous() {
+    // The `partition-sim` invariant forces a cut by shrinking the device
+    // until the whole design overflows it; if the placer still returned
+    // single-device plans the invariant would hold vacuously. Replicate
+    // the oracle's shrink rule and confirm generated specs really split.
+    use dhdl_synth::partition::{util_proxy, FIT_MARGIN};
+    use dhdl_synth::{elaborate, partition};
+    use dhdl_target::{FpgaTarget, MultiFpgaPlatform, Platform};
+    let platform = Platform::maia();
+    let fpga = &platform.fpga;
+    let mp = MultiFpgaPlatform::from_platform(&platform, 4);
+    let mut cut = 0;
+    for id in 0..12u64 {
+        let design = generate(0, id).build().expect("builds");
+        let u = util_proxy(&elaborate(&design, fpga).raw, fpga);
+        assert!(
+            u.is_finite() && u > 0.0,
+            "case {id}: degenerate utilization"
+        );
+        let scale = u / (2.0 * FIT_MARGIN);
+        let shrink = |cap: u64| ((cap as f64 * scale).ceil() as u64).max(1);
+        let tiny = FpgaTarget {
+            alms: shrink(fpga.alms),
+            dsps: shrink(fpga.dsps),
+            brams: shrink(fpga.brams),
+            ..fpga.clone()
+        };
+        if partition(&design, &tiny, &mp.link, mp.num_devices).devices_used() > 1 {
+            cut += 1;
+        }
+    }
+    assert!(
+        cut >= 6,
+        "only {cut}/12 specs were cut; the oracle barely fires"
+    );
+}

@@ -66,7 +66,7 @@ pub use node::{
     by, BramSpec, CounterChain, CounterDim, Interleaving, MemFold, Node, NodeId, NodeKind,
     OuterSpec, Pattern, PipeSpec, PrimOp, QueueSpec, ReduceOp, RegReduce, RegSpec, TileSpec,
 };
-pub use params::{ParamDef, ParamKind, ParamSpace, ParamValues};
+pub use params::{ParamDef, ParamKind, ParamSpace, ParamValues, NUM_FPGAS};
 pub use types::DType;
 
 pub use analysis::stats::DesignStats;

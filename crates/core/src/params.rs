@@ -35,7 +35,17 @@ pub enum ParamKind {
     },
     /// A MetaPipe toggle: 0 (Sequential) or 1 (MetaPipe).
     Toggle,
+    /// A device-count parameter for multi-FPGA partitioning. Legal
+    /// values are the powers of two `1..=max` (1 means single-chip).
+    Devices {
+        /// Maximum number of devices considered.
+        max: u64,
+    },
 }
+
+/// The conventional name of the device-count parameter a multi-FPGA
+/// design space carries (see [`ParamSpace::devices`]).
+pub const NUM_FPGAS: &str = "num_fpgas";
 
 impl ParamKind {
     /// Enumerate the legal values of this parameter, applying the divisor
@@ -45,6 +55,15 @@ impl ParamKind {
             ParamKind::Tile { divides, min, max } => divisors_in(divides, min, max),
             ParamKind::Par { divides, max } => divisors_in(divides, 1, max),
             ParamKind::Toggle => vec![0, 1],
+            ParamKind::Devices { max } => {
+                let mut out = vec![];
+                let mut k = 1u64;
+                while k <= max {
+                    out.push(k);
+                    k *= 2;
+                }
+                out
+            }
         }
     }
 }
@@ -122,6 +141,16 @@ impl ParamSpace {
         self.defs.push(ParamDef {
             name: name.to_string(),
             kind: ParamKind::Toggle,
+        });
+        self
+    }
+
+    /// Add the device-count parameter [`NUM_FPGAS`] with up to `max`
+    /// devices (legal values: powers of two `1..=max`).
+    pub fn devices(&mut self, max: u64) -> &mut Self {
+        self.defs.push(ParamDef {
+            name: NUM_FPGAS.to_string(),
+            kind: ParamKind::Devices { max },
         });
         self
     }
@@ -298,6 +327,23 @@ mod tests {
         assert!(s.is_legal(&d));
         let bad = ParamValues::new().with("ts", 5).with("p", 1).with("m", 0);
         assert!(!s.is_legal(&bad));
+    }
+
+    #[test]
+    fn devices_legal_values_are_powers_of_two() {
+        assert_eq!(ParamKind::Devices { max: 1 }.legal_values(), vec![1]);
+        assert_eq!(ParamKind::Devices { max: 4 }.legal_values(), vec![1, 2, 4]);
+        assert_eq!(
+            ParamKind::Devices { max: 6 }.legal_values(),
+            vec![1, 2, 4],
+            "non-power-of-two maxima round down"
+        );
+        let mut s = ParamSpace::new();
+        s.devices(8);
+        assert_eq!(s.defs()[0].name, NUM_FPGAS);
+        // Single-chip is the default: partitioning is strictly opt-in.
+        assert_eq!(s.defaults().get(NUM_FPGAS), Some(1));
+        assert!(s.is_legal(&s.defaults()));
     }
 
     #[test]

@@ -137,6 +137,24 @@ pub fn params_key(salt: u64, params: &ParamValues) -> u64 {
     h.finish()
 }
 
+/// The structural-cache key of a design estimated across `k` devices.
+///
+/// `k <= 1` is the plain structural hash — single-chip entries stay
+/// shared with (and bit-identical to) sweeps that never heard of
+/// partitioning. `k > 1` mixes the device count in so a multi-device
+/// estimate (different area, different cycles) can never be served for
+/// a single-chip lookup of the same design or vice versa.
+pub fn devices_key(structural: u64, k: u32) -> u64 {
+    if k <= 1 {
+        return structural;
+    }
+    let mut h = Fnv64::new();
+    h.write_u64(structural);
+    h.write(b"num_fpgas");
+    h.write_u64(u64::from(k));
+    h.finish()
+}
+
 /// Whether every field of an estimate is finite (cacheable).
 fn estimate_is_finite(est: &Estimate) -> bool {
     est.cycles.is_finite()
@@ -547,6 +565,30 @@ impl<E: CostModel> CostModel for CachedModel<'_, E> {
         // map accepted (finite): a memo entry pointing at nothing would
         // just double-count misses, and one recorded during a transient
         // NaN fault would defeat the runner's retry.
+        if let Some(pk) = params_key {
+            if estimate_is_finite(&est) {
+                self.cache.insert_params(pk, key);
+            }
+        }
+        est
+    }
+
+    fn estimate_devices(&self, params_key: Option<u64>, design: &Design, k: u32) -> Estimate {
+        if k <= 1 {
+            return self.estimate_keyed(params_key, design);
+        }
+        let key = devices_key(structural_hash(design), k);
+        let est = match self.cache.get(key) {
+            Some(est) => est,
+            None => {
+                let est = self.inner.estimate_devices(None, design, k);
+                self.cache.insert(key, est);
+                est
+            }
+        };
+        // Same finite-only memo rule as `estimate_keyed`: the parameter
+        // memo may point at the device-salted key because `params_key`
+        // already hashes `num_fpgas` — one assignment, one key.
         if let Some(pk) = params_key {
             if estimate_is_finite(&est) {
                 self.cache.insert_params(pk, key);

@@ -154,8 +154,11 @@ impl<'a, E: CostModel> FaultInjector<'a, E> {
     }
 }
 
-impl<E: CostModel> CostModel for FaultInjector<'_, E> {
-    fn estimate(&self, design: &Design) -> Estimate {
+impl<E: CostModel> FaultInjector<'_, E> {
+    /// Run the inner estimate `f` under this design's fault plan —
+    /// shared by the single-chip and multi-device entry points so a
+    /// design faults identically whichever path evaluates it.
+    fn with_faults(&self, design: &Design, f: impl FnOnce() -> Estimate) -> Estimate {
         let h = structural_hash(design);
         let plan = self.plan_for_hash(h);
         let armed = self.armed(h);
@@ -168,13 +171,25 @@ impl<E: CostModel> CostModel for FaultInjector<'_, E> {
             self.panics.fetch_add(1, Ordering::Relaxed);
             panic!("injected estimator fault (design hash {h:#x})");
         }
-        let mut est = self.inner.estimate(design);
+        let mut est = f();
         if plan.nan && armed {
             self.note_injection(h);
             self.nans.fetch_add(1, Ordering::Relaxed);
             est.cycles = f64::NAN;
         }
         est
+    }
+}
+
+impl<E: CostModel> CostModel for FaultInjector<'_, E> {
+    fn estimate(&self, design: &Design) -> Estimate {
+        self.with_faults(design, || self.inner.estimate(design))
+    }
+
+    fn estimate_devices(&self, params_key: Option<u64>, design: &Design, k: u32) -> Estimate {
+        self.with_faults(design, || {
+            self.inner.estimate_devices(params_key, design, k)
+        })
     }
 
     fn platform(&self) -> &Platform {

@@ -62,7 +62,9 @@ mod search;
 mod space;
 mod surrogate;
 
-pub use cache::{model_fingerprint, params_key, CacheMode, CacheStats, CachedModel, EstimateCache};
+pub use cache::{
+    devices_key, model_fingerprint, params_key, CacheMode, CacheStats, CachedModel, EstimateCache,
+};
 pub use checkpoint::Checkpoint;
 pub use fault::{with_silent_panics, FaultConfig, FaultInjector, FaultPlan, InjectionCounts};
 pub use objectives::{frontier_along, perf_per_area, rank_by_perf_per_area, ResourceAxis};

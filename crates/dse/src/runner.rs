@@ -67,6 +67,19 @@ pub trait CostModel: Sync {
         let _ = params_key;
         self.estimate(design)
     }
+
+    /// Estimate `design` across up to `k` identical devices — the
+    /// `num_fpgas` DSE axis. `k <= 1` must be bit-identical to
+    /// [`CostModel::estimate_keyed`] (the partitioning pass is never
+    /// consulted for single-chip points). The default ignores the device
+    /// count and scores the whole design on one chip; models that
+    /// understand partitioning ([`Estimator`] via
+    /// `Estimator::estimate_partitioned`, [`crate::CachedModel`] with a
+    /// device-salted cache key) override it.
+    fn estimate_devices(&self, params_key: Option<u64>, design: &Design, k: u32) -> Estimate {
+        let _ = k;
+        self.estimate_keyed(params_key, design)
+    }
 }
 
 impl CostModel for Estimator {
@@ -76,6 +89,14 @@ impl CostModel for Estimator {
 
     fn platform(&self) -> &Platform {
         Estimator::platform(self)
+    }
+
+    fn estimate_devices(&self, _params_key: Option<u64>, design: &Design, k: u32) -> Estimate {
+        if k <= 1 {
+            Estimator::estimate(self, design)
+        } else {
+            self.estimate_partitioned(design, k).estimate
+        }
     }
 }
 
@@ -98,6 +119,10 @@ impl<T: CostModel + ?Sized> CostModel for &T {
 
     fn estimate_keyed(&self, params_key: Option<u64>, design: &Design) -> Estimate {
         (**self).estimate_keyed(params_key, design)
+    }
+
+    fn estimate_devices(&self, params_key: Option<u64>, design: &Design, k: u32) -> Estimate {
+        (**self).estimate_devices(params_key, design, k)
     }
 }
 
@@ -466,6 +491,13 @@ where
     let params_key = opts
         .cache_salt
         .map(|salt| crate::cache::params_key(salt, params));
+    // The device count is an ordinary parameter of the assignment
+    // (`num_fpgas`, absent on single-chip spaces), so it is already part
+    // of `params_key` — the warm fast path below distinguishes device
+    // counts for free.
+    let devices = params
+        .get(dhdl_core::NUM_FPGAS)
+        .map_or(1, |v| v.clamp(1, u64::from(u32::MAX)) as u32);
     if let Some(pk) = params_key {
         if let Some(est) = estimator.lookup_params(pk) {
             let valid = est.area.fits(&estimator.platform().fpga);
@@ -495,7 +527,7 @@ where
                     cap_bits: opts.mem_cap_bits,
                 };
             }
-            let est = estimator.estimate_keyed(params_key, &design);
+            let est = estimator.estimate_devices(params_key, &design, devices);
             if !estimate_is_finite(&est) {
                 return Attempt::NonFinite;
             }

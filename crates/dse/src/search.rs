@@ -322,8 +322,8 @@ pub(crate) fn point_tuples(points: &[DesignPoint]) -> Vec<(f64, f64, bool)> {
 /// The budget is spent per [`DseOptions::strategy`]: the default
 /// [`SearchStrategy::Random`] evaluates a uniform sample of
 /// `max_points` legal points, while [`SearchStrategy::Surrogate`]
-/// routes the same budget through the active-learning loop in
-/// [`crate::surrogate`]. Both are deterministic per seed and resumable
+/// routes the same budget through the active-learning loop in the
+/// `surrogate` module. Both are deterministic per seed and resumable
 /// through the same checkpoint machinery.
 pub fn explore<F, E>(build: F, space: &ParamSpace, estimator: &E, opts: &DseOptions) -> DseResult
 where

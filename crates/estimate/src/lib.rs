@@ -37,11 +37,13 @@ mod bottleneck;
 mod calibrate;
 mod hybrid;
 mod latency;
+mod multi;
 
 pub use bottleneck::{classify, Bottleneck};
 pub use calibrate::{calibrate, cross_validate, random_design, CalibrationReport, DEFAULT_SAMPLES};
 pub use hybrid::{features, raw_estimate, AreaEstimator, N_FEATURES};
 pub use latency::{estimate_breakdown, estimate_cycles, estimate_cycles_net, LatencyEntry};
+pub use multi::PartitionedEstimate;
 
 use dhdl_core::Design;
 use dhdl_synth::{elaborate, Netlist};

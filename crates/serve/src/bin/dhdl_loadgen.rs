@@ -120,6 +120,7 @@ fn client_loop(
                 points: 40,
                 seed: seed ^ n,
                 strategy: None,
+                num_fpgas: None,
             });
             req.header.tenant = format!("loadgen-{}", seed & 0xF);
             req.header.priority = u8::from(n.is_multiple_of(3));

@@ -12,7 +12,7 @@
 //! | `stats` | — | request/admission/cache counters |
 //! | `submit` | `bench` | design validated; legal-space size |
 //! | `estimate` | `bench`, `params` | bit-exact estimate for one point |
-//! | `sweep` | `bench`, `points`, `seed`, [`strategy`] | full DSE result (points + front) |
+//! | `sweep` | `bench`, `points`, `seed`, optional `strategy` and `num_fpgas` | full DSE result (points + front) |
 //! | `shutdown` | — | begins graceful drain |
 //!
 //! Common header fields: `tenant` (admission-queue key, default
@@ -139,6 +139,11 @@ pub enum Op {
         /// leaves the choice to the server (its `DHDL_DSE_STRATEGY`
         /// environment).
         strategy: Option<SearchStrategy>,
+        /// Maximum devices for the multi-FPGA partitioning axis. `None`
+        /// or `Some(1)` sweeps the single-chip space (bit-identical to
+        /// requests predating the field); `Some(k > 1)` adds the
+        /// `num_fpgas` parameter to the swept space.
+        num_fpgas: Option<u32>,
     },
     /// Begin graceful drain (stop accepting, finish in-flight work,
     /// flush caches, exit).
@@ -226,51 +231,67 @@ impl Request {
                     ProtoError::new("bad_request", format!("missing string field `{field}`"))
                 })
         };
-        let op = match op_name {
-            "health" => Op::Health,
-            "stats" => Op::Stats,
-            "shutdown" => Op::Shutdown,
-            "submit" => Op::Submit {
-                bench: bench("bench")?,
-            },
-            "estimate" => {
-                let params_obj = obj
-                    .get("params")
-                    .and_then(Json::as_obj)
-                    .ok_or_else(|| ProtoError::new("bad_request", "missing object `params`"))?;
-                Op::Estimate {
+        let op =
+            match op_name {
+                "health" => Op::Health,
+                "stats" => Op::Stats,
+                "shutdown" => Op::Shutdown,
+                "submit" => Op::Submit {
                     bench: bench("bench")?,
-                    params: params_from_json(params_obj)?,
-                }
-            }
-            "sweep" => Op::Sweep {
-                bench: bench("bench")?,
-                points: obj
-                    .get("points")
-                    .and_then(Json::as_u64)
-                    .ok_or_else(|| ProtoError::new("bad_request", "missing integer `points`"))?
-                    as usize,
-                seed: obj.get("seed").and_then(Json::as_u64).unwrap_or(0xD5E),
-                strategy: match obj.get("strategy") {
-                    None => None,
-                    Some(s) => {
-                        let name = s.as_str().ok_or_else(|| {
-                            ProtoError::new("bad_request", "`strategy` must be a string")
-                        })?;
-                        Some(
-                            SearchStrategy::parse(name)
-                                .map_err(|e| ProtoError::new("bad_request", e))?,
-                        )
-                    }
                 },
-            },
-            other => {
-                return Err(ProtoError::new(
-                    "unknown_op",
-                    format!("unrecognized op `{other}`"),
-                ))
-            }
-        };
+                "estimate" => {
+                    let params_obj = obj
+                        .get("params")
+                        .and_then(Json::as_obj)
+                        .ok_or_else(|| ProtoError::new("bad_request", "missing object `params`"))?;
+                    Op::Estimate {
+                        bench: bench("bench")?,
+                        params: params_from_json(params_obj)?,
+                    }
+                }
+                "sweep" => Op::Sweep {
+                    bench: bench("bench")?,
+                    points: obj
+                        .get("points")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| ProtoError::new("bad_request", "missing integer `points`"))?
+                        as usize,
+                    seed: obj.get("seed").and_then(Json::as_u64).unwrap_or(0xD5E),
+                    strategy: match obj.get("strategy") {
+                        None => None,
+                        Some(s) => {
+                            let name = s.as_str().ok_or_else(|| {
+                                ProtoError::new("bad_request", "`strategy` must be a string")
+                            })?;
+                            Some(
+                                SearchStrategy::parse(name)
+                                    .map_err(|e| ProtoError::new("bad_request", e))?,
+                            )
+                        }
+                    },
+                    num_fpgas: match obj.get("num_fpgas") {
+                        None => None,
+                        Some(k) => {
+                            let k = k.as_u64().and_then(|k| u32::try_from(k).ok()).ok_or_else(
+                                || ProtoError::new("bad_request", "`num_fpgas` must be an integer"),
+                            )?;
+                            if k == 0 {
+                                return Err(ProtoError::new(
+                                    "bad_request",
+                                    "`num_fpgas` must be at least 1",
+                                ));
+                            }
+                            Some(k)
+                        }
+                    },
+                },
+                other => {
+                    return Err(ProtoError::new(
+                        "unknown_op",
+                        format!("unrecognized op `{other}`"),
+                    ))
+                }
+            };
         Ok(Request { header, op })
     }
 
@@ -303,12 +324,16 @@ impl Request {
                 points,
                 seed,
                 strategy,
+                num_fpgas,
             } => {
                 map.insert("bench".to_string(), Json::Str(bench.clone()));
                 map.insert("points".to_string(), Json::Num(*points as f64));
                 map.insert("seed".to_string(), Json::Num(*seed as f64));
                 if let Some(s) = strategy {
                     map.insert("strategy".to_string(), Json::Str(s.name().to_string()));
+                }
+                if let Some(k) = num_fpgas {
+                    map.insert("num_fpgas".to_string(), Json::Num(f64::from(*k)));
                 }
             }
         }
@@ -427,6 +452,7 @@ mod tests {
                     points: 300,
                     seed: 42,
                     strategy: None,
+                    num_fpgas: None,
                 },
             },
             Request::new(Op::Sweep {
@@ -434,6 +460,7 @@ mod tests {
                 points: 40,
                 seed: 7,
                 strategy: Some(SearchStrategy::parse("surrogate").unwrap()),
+                num_fpgas: Some(4),
             }),
             Request::new(Op::Estimate {
                 bench: "dotproduct".into(),

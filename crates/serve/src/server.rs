@@ -482,7 +482,16 @@ fn dispatch(state: &State, req: &Request) -> Json {
             points,
             seed,
             strategy,
-        } => handle_sweep(state, &req.header, bench, *points, *seed, strategy.as_ref()),
+            num_fpgas,
+        } => handle_sweep(
+            state,
+            &req.header,
+            bench,
+            *points,
+            *seed,
+            strategy.as_ref(),
+            num_fpgas.unwrap_or(1),
+        ),
     };
     let us = t0.elapsed().as_micros() as u64;
     dhdl_obs::histogram!("serve.req.us").record(us);
@@ -689,6 +698,7 @@ fn handle_sweep(
     points: usize,
     seed: u64,
     strategy: Option<&SearchStrategy>,
+    num_fpgas: u32,
 ) -> Json {
     let Some(bench) = dhdl_apps::by_name(bench_name) else {
         return unknown_bench(bench_name);
@@ -722,7 +732,12 @@ fn handle_sweep(
         strategy: strategy.cloned().unwrap_or_else(SearchStrategy::from_env),
         ..DseOptions::default()
     };
-    let space = bench.param_space();
+    let mut space = bench.param_space();
+    if num_fpgas > 1 {
+        // Multi-FPGA requests sweep the `num_fpgas` axis too; a request
+        // without the field sweeps the bit-identical single-chip space.
+        space.devices(u64::from(num_fpgas));
+    }
     let model = CachedModel::new(&state.estimator, &state.cache);
     let build = |p: &ParamValues| bench.build(p);
     let result = match &state.cfg.faults {

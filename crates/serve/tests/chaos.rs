@@ -134,6 +134,7 @@ fn chaotic_server_sweep_is_bit_identical_to_fault_free_in_process() {
         points: POINTS,
         seed: SEED,
         strategy: None,
+        num_fpgas: None,
     });
     // The idempotency key: every chaos-forced retry resumes the same
     // server-side checkpoint instead of restarting the sweep.
@@ -200,6 +201,7 @@ fn deadline_truncates_and_idempotent_retry_resumes() {
         points: POINTS,
         seed: SEED,
         strategy: None,
+        num_fpgas: None,
     });
     first.header.key = Some("resume-me".to_string());
     first.header.deadline_ms = Some(0);

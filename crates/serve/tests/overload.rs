@@ -55,6 +55,7 @@ fn overloaded_sweeps_are_rejected_explicitly_and_queues_stay_bounded() {
                         points: 150,
                         seed: 0x0DD + i,
                         strategy: None,
+                        num_fpgas: None,
                     });
                     req.header.tenant = format!("tenant-{i}");
                     req.header.priority = 2;

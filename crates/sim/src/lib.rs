@@ -58,6 +58,7 @@ mod compile;
 mod error;
 mod interp;
 mod memory;
+mod multi;
 mod tape;
 mod trace;
 
@@ -67,4 +68,5 @@ pub use compile::{
 pub use error::{Result, SimError};
 pub use interp::{simulate, Bindings, ProfileEntry, SimResult};
 pub use memory::DramTimeline;
+pub use multi::{simulate_multi, simulate_partitioned, MultiSimResult};
 pub use trace::{Trace, TraceEvent};

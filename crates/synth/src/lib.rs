@@ -46,9 +46,11 @@ pub mod chardata;
 pub mod elaborate;
 pub mod lowlevel;
 pub mod maxj;
+pub mod partition;
 
 pub use elaborate::{
     elaborate, elaborate_with, pipe_depth, shape_hash, AreaBreakdown, NetFeatures, Netlist,
     Skeleton,
 };
 pub use lowlevel::{design_hash, place_and_route, synthesize, SynthReport};
+pub use partition::{partition, Channel, CutKind, Partition, Partitioning};

@@ -1,0 +1,161 @@
+//! Property tests for the multi-FPGA partitioning pass: the placer is
+//! a deterministic function of its inputs, K=1 is bitwise-identical to
+//! the unpartitioned elaboration, chosen plans respect the structural
+//! invariants (unit coverage, valid channel endpoints), and cutting
+//! never produces a partition larger than the whole design.
+
+use dhdl_core::{by, DType, Design, DesignBuilder, NodeKind};
+use dhdl_synth::partition::{util_proxy, FIT_MARGIN};
+use dhdl_synth::{elaborate, partition, CutKind};
+use dhdl_target::{BoardLink, FpgaTarget};
+use proptest::prelude::*;
+
+/// The staged streaming design from the pass's unit tests: tile buffers
+/// scale with `tile`, so one generator covers trivially-fitting designs
+/// and designs several devices wide.
+fn staged(tile: u64, par: u32) -> Design {
+    let n = 16 * tile;
+    let mut b = DesignBuilder::new("staged");
+    let x = b.off_chip("x", DType::F32, &[n]);
+    let y = b.off_chip("y", DType::F32, &[n]);
+    b.sequential(|b| {
+        b.meta_pipe(&[by(n, tile)], 1, |b, iters| {
+            let i = iters[0];
+            let xt = b.bram("xT", DType::F32, &[tile]);
+            let mt = b.bram("mT", DType::F32, &[tile]);
+            let yt = b.bram("yT", DType::F32, &[tile]);
+            b.tile_load(x, xt, &[i], &[tile], par);
+            b.pipe(&[by(tile, 1)], par, |b, it| {
+                let v = b.load(xt, &[it[0]]);
+                let w = b.mul(v, v);
+                b.store(mt, &[it[0]], w);
+            });
+            b.pipe(&[by(tile, 1)], par, |b, it| {
+                let v = b.load(mt, &[it[0]]);
+                let w = b.add(v, v);
+                b.store(yt, &[it[0]], w);
+            });
+            b.tile_store(y, yt, &[i], &[tile], par);
+        });
+    });
+    b.finish().unwrap()
+}
+
+/// Pre-order leaf controllers, mirroring the pass's cut units.
+fn leaf_units(design: &Design) -> Vec<dhdl_core::NodeId> {
+    let mut out = Vec::new();
+    design.walk_controllers(design.top(), &mut |_, id| {
+        if matches!(
+            design.kind(id),
+            NodeKind::Pipe(_) | NodeKind::TileLoad(_) | NodeKind::TileStore(_)
+        ) {
+            out.push(id);
+        }
+    });
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The placer is a pure function: the same design, target, link and
+    /// K always produce the identical plan — partitions, netlists and
+    /// channels alike. (The placer takes no RNG; determinism across
+    /// repeated calls is the whole seed-stability story.)
+    #[test]
+    fn partitioning_is_deterministic(
+        tile_pow in 6u32..18,
+        par_pow in 0u32..3,
+        k in 1u32..8,
+    ) {
+        let d = staged(1 << tile_pow, 1 << par_pow);
+        let t = FpgaTarget::stratix_v();
+        let l = BoardLink::maia_interlink();
+        prop_assert_eq!(partition(&d, &t, &l, k), partition(&d, &t, &l, k));
+    }
+
+    /// K=1 is the degenerate case, not a parallel implementation: one
+    /// partition, no channels, and a netlist bitwise-equal to the
+    /// ordinary elaboration.
+    #[test]
+    fn k1_is_bitwise_equal_to_elaborate(
+        tile_pow in 6u32..18,
+        par_pow in 0u32..3,
+    ) {
+        let d = staged(1 << tile_pow, 1 << par_pow);
+        let t = FpgaTarget::stratix_v();
+        let p = partition(&d, &t, &BoardLink::maia_interlink(), 1);
+        prop_assert!(p.is_single());
+        prop_assert_eq!(p.cut, CutKind::Single);
+        prop_assert!(p.channels.is_empty());
+        prop_assert_eq!(&p.partitions[0].net, &elaborate(&d, &t));
+    }
+
+    /// Structural invariants of every chosen plan: device numbering is
+    /// dense and in order, leaf-range cuts tile the pre-order unit list
+    /// exactly, channels connect distinct placed devices with nonzero
+    /// traffic, and no partition exceeds the whole design (cutting can
+    /// only shed area, modulo channel-endpoint FIFOs).
+    #[test]
+    fn chosen_plans_are_structurally_sound(
+        tile_pow in 6u32..18,
+        par_pow in 0u32..3,
+        k in 2u32..8,
+    ) {
+        let d = staged(1 << tile_pow, 1 << par_pow);
+        let t = FpgaTarget::stratix_v();
+        let l = BoardLink::maia_interlink();
+        let p = partition(&d, &t, &l, k);
+        let used = p.devices_used();
+        prop_assert!(used >= 1 && used <= k);
+        for (i, part) in p.partitions.iter().enumerate() {
+            prop_assert_eq!(part.device as usize, i);
+            prop_assert!(!part.units.is_empty());
+        }
+        if p.cut == CutKind::LeafRanges {
+            let concat: Vec<_> = p
+                .partitions
+                .iter()
+                .flat_map(|part| part.units.iter().copied())
+                .collect();
+            prop_assert_eq!(concat, leaf_units(&d));
+        }
+        for ch in &p.channels {
+            prop_assert!(ch.src < used && ch.dst < used);
+            prop_assert_ne!(ch.src, ch.dst);
+            prop_assert!(ch.words > 0 && ch.word_bits > 0 && ch.transfers > 0);
+        }
+        prop_assert!(p.link_cycles(&l) >= 0.0);
+        let whole = util_proxy(&elaborate(&d, &t).raw, &t);
+        for part in &p.partitions {
+            let u = util_proxy(&part.net.raw, &t);
+            prop_assert!(
+                u <= whole + 0.01,
+                "partition util {} exceeds whole-design util {}",
+                u,
+                whole
+            );
+        }
+    }
+}
+
+/// When an oversized design has a plan that fits, the placer finds one:
+/// every partition of the chosen plan lands under the fit margin.
+#[test]
+fn oversized_staged_design_fits_per_device() {
+    let t = FpgaTarget::stratix_v();
+    let l = BoardLink::maia_interlink();
+    let d = staged(262_144, 1);
+    let whole = util_proxy(&elaborate(&d, &t).raw, &t);
+    assert!(whole > FIT_MARGIN, "test design must overflow one device");
+    let p = partition(&d, &t, &l, 8);
+    assert!(p.devices_used() > 1, "an overflowing design must be cut");
+    for part in &p.partitions {
+        let u = util_proxy(&part.net.raw, &t);
+        assert!(
+            u <= FIT_MARGIN,
+            "device {} at {u:.3} exceeds the fit margin",
+            part.device
+        );
+    }
+}

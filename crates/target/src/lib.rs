@@ -5,7 +5,9 @@
 //! ([`DramModel`]) and the chip power model ([`PowerModel`]), bundled as a
 //! [`Platform`]. The paper's experiments (§V) run on an Altera Stratix V
 //! GS D8 on a Maxeler MAIA board at a 150 MHz fabric clock; that preset
-//! is [`Platform::maia`].
+//! is [`Platform::maia`]. Multi-board systems add an inter-board link
+//! model ([`BoardLink`]) and a bundle of N identical devices
+//! ([`MultiFpgaPlatform`]) for the partitioning pass.
 //!
 //! Every layer of the toolchain consumes these numbers: template
 //! characterization and the synthesis model (`dhdl-synth`) price
@@ -26,10 +28,12 @@
 
 mod dram;
 mod fpga;
+mod link;
 mod power;
 
 pub use dram::DramModel;
 pub use fpga::{AreaReport, FpgaTarget, Resources};
+pub use link::{BoardLink, MultiFpgaPlatform, LINK_WORD_BITS};
 pub use power::PowerModel;
 
 /// A complete target platform: FPGA fabric, DRAM channel and power model.

@@ -1,0 +1,175 @@
+//! Inter-board link and multi-device platform models.
+//!
+//! Multi-FPGA systems connect boards with point-to-point serial links
+//! (MaxRing on Maxeler systems; partial crossbars on emulation platforms
+//! such as the BEE family). A partitioned design streams intermediate
+//! tiles across these links, so the partitioning pass and the estimator
+//! price inter-partition traffic through [`BoardLink`] exactly the way
+//! single-chip transfers are priced through the DRAM model: calibrated
+//! constants in *fabric* clock cycles.
+
+use crate::{FpgaTarget, Platform};
+
+/// Number of bits in one link word: links are characterized in 32-bit
+/// words to match the suite's dominant `F32` element type.
+pub const LINK_WORD_BITS: u32 = 32;
+
+/// Inter-board channel timing and bandwidth parameters.
+///
+/// Quantities are in fabric clock cycles, like [`crate::DramModel`]: the
+/// latency is the full serialize → transceiver → deserialize round trip
+/// for the first word of a stream, and the bandwidth is the sustained
+/// streaming rate once the pipe is full.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoardLink {
+    /// Fabric cycles from the first word entering the sender's channel
+    /// FIFO to it leaving the receiver's (serdes, protocol framing and
+    /// clock-domain crossings).
+    pub latency_cycles: u64,
+    /// Sustained bandwidth in 32-bit words per fabric cycle.
+    pub words_per_cycle: f64,
+    /// Depth (in words) of the channel FIFO at each endpoint; sets the
+    /// BRAM cost of a channel endpoint.
+    pub fifo_depth: u64,
+}
+
+impl BoardLink {
+    /// The MAIA-class inter-board ring link: a 2.4 GB/s sustained serial
+    /// stream — 16 bytes (4 words) per 150 MHz fabric cycle — with a
+    /// 40-cycle end-to-end first-word latency and 512-word endpoint
+    /// FIFOs. An order of magnitude below the 250 B/cycle DRAM channel,
+    /// which is what makes cut placement a real DSE trade-off.
+    pub fn maia_interlink() -> Self {
+        BoardLink {
+            latency_cycles: 40,
+            words_per_cycle: 4.0,
+            fifo_depth: 512,
+        }
+    }
+
+    /// Streaming occupancy (cycles) of moving `words` values of
+    /// `word_bits` bits each: wider elements consume proportionally more
+    /// of the 32-bit-word budget, narrower ones are not packed (each
+    /// element still occupies one link word, as in the real framing).
+    pub fn stream_cycles(&self, words: u64, word_bits: u32) -> f64 {
+        if words == 0 || self.words_per_cycle <= 0.0 {
+            return 0.0;
+        }
+        let link_words = words * u64::from(word_bits.div_ceil(LINK_WORD_BITS).max(1));
+        link_words as f64 / self.words_per_cycle
+    }
+
+    /// Total cycles of one isolated transfer of `words` values: the
+    /// first-word latency, then the stream.
+    pub fn request(&self, words: u64, word_bits: u32) -> f64 {
+        if words == 0 {
+            return 0.0;
+        }
+        self.latency_cycles as f64 + self.stream_cycles(words, word_bits)
+    }
+}
+
+/// A platform of `num_devices` identical FPGAs connected by point-to-point
+/// [`BoardLink`]s, each device with its own DRAM channel.
+///
+/// `num_devices == 1` degenerates to the single-chip [`Platform`]: no
+/// links exist and every model in the toolchain behaves bit-identically
+/// to the unpartitioned path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiFpgaPlatform {
+    /// The per-device platform (fabric, DRAM, power) — all devices are
+    /// identical.
+    pub base: Platform,
+    /// Number of devices (K in the DSE parameter `num_fpgas`).
+    pub num_devices: u32,
+    /// The inter-board link connecting adjacent devices.
+    pub link: BoardLink,
+}
+
+impl MultiFpgaPlatform {
+    /// `k` identical copies of `base` connected by the MAIA-class
+    /// interlink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn from_platform(base: &Platform, k: u32) -> Self {
+        assert!(k > 0, "a multi-FPGA platform needs at least one device");
+        MultiFpgaPlatform {
+            base: base.clone(),
+            num_devices: k,
+            link: BoardLink::maia_interlink(),
+        }
+    }
+
+    /// `k` MAIA boards (the paper's platform) on a ring.
+    pub fn maia(k: u32) -> Self {
+        Self::from_platform(&Platform::maia(), k)
+    }
+
+    /// The (identical) FPGA device model of every board.
+    pub fn device(&self) -> &FpgaTarget {
+        &self.base.fpga
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maia_interlink_is_much_slower_than_dram() {
+        let link = BoardLink::maia_interlink();
+        let dram = crate::DramModel::maia();
+        // 4 words/cycle = 16 B/cycle, far below the 250 B/cycle channel.
+        assert_eq!(link.words_per_cycle * 4.0, 16.0);
+        assert!(link.words_per_cycle * 4.0 < dram.bytes_per_cycle / 10.0);
+        assert!(link.latency_cycles > 0);
+        assert!(link.fifo_depth > 0);
+    }
+
+    #[test]
+    fn stream_cycles_scale_with_words_and_width() {
+        let link = BoardLink::maia_interlink();
+        assert_eq!(link.stream_cycles(0, 32), 0.0);
+        // 4 words per cycle: 1024 32-bit words take 256 cycles.
+        assert!((link.stream_cycles(1024, 32) - 256.0).abs() < 1e-12);
+        // 64-bit elements take two link words each.
+        assert!((link.stream_cycles(1024, 64) - 512.0).abs() < 1e-12);
+        // Narrow elements are not packed: still one link word each.
+        assert_eq!(link.stream_cycles(1024, 1), link.stream_cycles(1024, 32));
+    }
+
+    #[test]
+    fn request_adds_first_word_latency() {
+        let link = BoardLink::maia_interlink();
+        assert_eq!(link.request(0, 32), 0.0);
+        let r = link.request(1024, 32);
+        assert!((r - (40.0 + 256.0)).abs() < 1e-12);
+        // Tiny transfers are latency-bound.
+        assert!(link.request(1, 32) >= link.latency_cycles as f64);
+    }
+
+    #[test]
+    fn multi_platform_degenerates_at_k1() {
+        let p = Platform::maia();
+        let m = MultiFpgaPlatform::from_platform(&p, 1);
+        assert_eq!(m.num_devices, 1);
+        assert_eq!(m.base, p);
+        assert_eq!(m.device(), &p.fpga);
+    }
+
+    #[test]
+    fn maia_preset_wires_the_parts() {
+        let m = MultiFpgaPlatform::maia(4);
+        assert_eq!(m.num_devices, 4);
+        assert_eq!(m.base, Platform::maia());
+        assert_eq!(m.link, BoardLink::maia_interlink());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_is_rejected() {
+        let _ = MultiFpgaPlatform::maia(0);
+    }
+}

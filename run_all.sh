@@ -73,6 +73,18 @@ if [ "$DHDL_DNN_POINTS" -gt 0 ]; then
     cargo run -q -p dhdl-bench --bin dnnbench --release
 fi
 
+# Multi-FPGA partitioning axis: gemm/gda/conv2d swept at K=1,2,4
+# devices (results/BENCH_part.json, byte-identical across thread
+# counts). partbench exits nonzero — failing this script loudly —
+# unless some configuration that is infeasible on one device becomes
+# valid at K>1. Set DHDL_PART_POINTS=0 to skip.
+DHDL_PART_POINTS="${DHDL_PART_POINTS:-800}"
+if [ "$DHDL_PART_POINTS" -gt 0 ]; then
+  echo "=== partbench (K=1,2,4 @ $DHDL_PART_POINTS points) ==="
+  DHDL_PART_POINTS="$DHDL_PART_POINTS" \
+    cargo run -q -p dhdl-bench --bin partbench --release
+fi
+
 # DSE-as-a-service smoke: a few seconds of Zipf-skewed multi-tenant
 # traffic against a live dhdl-serve instance, recording throughput and
 # hit/miss latency percentiles (results/BENCH_serve.json). The load

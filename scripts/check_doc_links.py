@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in the given markdown files.
+
+Checks every inline markdown link whose target is not an external URL:
+
+* relative file targets must exist on disk (resolved against the
+  directory of the file containing the link);
+* fragment targets (``#anchor`` or ``file.md#anchor``) must match a
+  heading in the target file, using GitHub's slug rules (lowercase,
+  punctuation stripped, spaces become hyphens, duplicates suffixed
+  ``-1``, ``-2``, ...).
+
+Usage: scripts/check_doc_links.py README.md DESIGN.md ...
+Exits non-zero listing every broken link; prints a one-line summary
+otherwise. No dependencies beyond the standard library.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
+CODE_FENCE = re.compile(r"^\s*(```|~~~)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # strip inline code ticks
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # [t](u) -> t
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    seen = {}
+    out = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING.match(line)
+        if not m:
+            continue
+        slug = slugify(m.group(2))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        out.add(slug if n == 0 else f"{slug}-{n}")
+    return out
+
+
+def links_of(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK.finditer(line):
+            yield lineno, m.group(1)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    anchor_cache = {}
+    broken = []
+    checked = 0
+    for name in argv[1:]:
+        doc = Path(name)
+        if not doc.is_file():
+            broken.append(f"{name}: file not found")
+            continue
+        for lineno, target in links_of(doc):
+            if target.startswith(EXTERNAL):
+                continue
+            checked += 1
+            file_part, _, frag = target.partition("#")
+            dest = doc if not file_part else (doc.parent / file_part)
+            if not dest.exists():
+                broken.append(f"{doc}:{lineno}: missing target `{target}`")
+                continue
+            if frag:
+                if not dest.is_file() or dest.suffix.lower() not in (".md", ".markdown"):
+                    broken.append(
+                        f"{doc}:{lineno}: fragment on non-markdown target `{target}`"
+                    )
+                    continue
+                if dest not in anchor_cache:
+                    anchor_cache[dest] = anchors_of(dest)
+                if frag.lower() not in anchor_cache[dest]:
+                    broken.append(f"{doc}:{lineno}: no heading for `{target}`")
+    if broken:
+        print(f"{len(broken)} broken link(s):", file=sys.stderr)
+        for b in broken:
+            print(f"  {b}", file=sys.stderr)
+        return 1
+    print(f"doc links ok: {checked} intra-repo links across {len(argv) - 1} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
